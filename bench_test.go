@@ -1,0 +1,350 @@
+package phasemark_test
+
+// The benchmark harness: one benchmark per table/figure of the paper's
+// evaluation (regenerating the same rows/series), plus microbenchmarks for
+// the analysis itself and ablation benchmarks for the design choices
+// DESIGN.md calls out. Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// Figure benchmarks report their headline numbers as custom metrics so the
+// shape comparison (who wins, by what factor) is visible in benchmark
+// output too; the full tables come from `go run ./cmd/spexp -fig all`.
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"phasemark"
+	"phasemark/internal/core"
+	"phasemark/internal/experiments"
+	"phasemark/internal/minivm"
+	"phasemark/internal/sequitur"
+	"phasemark/internal/trace"
+	"phasemark/internal/workloads"
+)
+
+// sharedSuite memoizes profiles/traces across figure benchmarks, as spexp
+// does, so the full bench run stays tractable.
+var sharedSuite = experiments.NewSuite()
+
+func avgColumn(t *experiments.Table, col string) float64 {
+	ci := -1
+	for i, c := range t.Cols {
+		if c == col {
+			ci = i
+		}
+	}
+	if ci < 0 {
+		return 0
+	}
+	last := t.Rows[len(t.Rows)-1] // avg row
+	s := strings.TrimSuffix(strings.TrimSuffix(last[ci], "%"), "M")
+	v, _ := strconv.ParseFloat(strings.Fields(s)[0], 64)
+	return v
+}
+
+func BenchmarkFig3TimeVarying(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := sharedSuite.Fig3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4CrossBinary(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := sharedSuite.Fig4(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5Projection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := sharedSuite.Fig56(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7IntervalLength(b *testing.B) {
+	var t *experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		if t, err = sharedSuite.Fig7(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(avgColumn(t, "no-limit self"), "avgIntervalM/noLimitSelf")
+	b.ReportMetric(avgColumn(t, "limit 100k-2m"), "avgIntervalM/limit")
+}
+
+func BenchmarkFig8PhaseCount(b *testing.B) {
+	var t *experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		if t, err = sharedSuite.Fig8(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(avgColumn(t, "BBV"), "phases/BBV")
+	b.ReportMetric(avgColumn(t, "no-limit self"), "phases/noLimitSelf")
+}
+
+func BenchmarkFig9CoV(b *testing.B) {
+	var t *experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		if t, err = sharedSuite.Fig9(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(avgColumn(t, "no-limit self"), "covCPIpct/markers")
+	b.ReportMetric(avgColumn(t, "100k whole"), "covCPIpct/wholeProgram")
+}
+
+func BenchmarkFig10CacheReconfig(b *testing.B) {
+	var t *experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		if t, err = sharedSuite.Fig10(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(avgColumn(t, "SPM-Cross"), "avgCacheKB/SPMCross")
+	b.ReportMetric(avgColumn(t, "BestFixed"), "avgCacheKB/bestFixed")
+}
+
+func BenchmarkFig11SimTime(b *testing.B) {
+	var t *experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		if t, err = sharedSuite.Fig11(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(avgColumn(t, "VLI_99%"), "simInstrM/VLI99")
+	b.ReportMetric(avgColumn(t, "SP_100k"), "simInstrM/SP100k")
+}
+
+func BenchmarkFig12CPIError(b *testing.B) {
+	var t *experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		if t, err = sharedSuite.Fig12(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(avgColumn(t, "VLI_99%"), "cpiErrPct/VLI99")
+	b.ReportMetric(avgColumn(t, "SP_100k"), "cpiErrPct/SP100k")
+}
+
+func BenchmarkCrossBinaryTraces(b *testing.B) {
+	var t *experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		if t, err = sharedSuite.CrossBinary(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	matches := 0
+	for _, row := range t.Rows {
+		if row[len(row)-1] == "YES" {
+			matches++
+		}
+	}
+	b.ReportMetric(float64(matches), "programsWithIdenticalTraces")
+}
+
+// BenchmarkMarkerSelection times the selection algorithm alone on all
+// profiled graphs — the paper's "runs in seconds" claim (§5.1); here it is
+// microseconds because the call-loop graphs are small, and the point is
+// the O(E + N log N) shape.
+func BenchmarkMarkerSelection(b *testing.B) {
+	graphs := make([]*phasemark.Graph, 0, 16)
+	for _, w := range workloads.All() {
+		prog := w.MustCompile(false)
+		g, err := phasemark.Profile(prog, w.Train...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		graphs = append(graphs, g)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, g := range graphs {
+			phasemark.Select(g, phasemark.SelectOptions{ILower: experiments.ILower})
+		}
+	}
+}
+
+// BenchmarkInterpreter measures raw execution speed of the minivm
+// substrate (no observers).
+func BenchmarkInterpreter(b *testing.B) {
+	w, err := workloads.ByName("applu")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog := w.MustCompile(true)
+	b.ResetTimer()
+	var instrs uint64
+	for i := 0; i < b.N; i++ {
+		m := minivm.NewMachine(prog, nil)
+		if _, err := m.Run(w.Train...); err != nil {
+			b.Fatal(err)
+		}
+		instrs = m.Instructions()
+	}
+	b.ReportMetric(float64(instrs)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+}
+
+// BenchmarkProfilingOverhead measures the cost of building the call-loop
+// graph relative to plain execution.
+func BenchmarkProfilingOverhead(b *testing.B) {
+	w, err := workloads.ByName("gzip")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog := w.MustCompile(false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := phasemark.Profile(prog, w.Train...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ablationCoV measures the Fig-9 style per-phase CoV of CPI on the ref
+// input for a given selection variant, averaged over three representative
+// programs (one regular, one alternating, one irregular).
+func ablationCoV(b *testing.B, opts phasemark.SelectOptions) (cov float64, markers int) {
+	for _, name := range []string{"applu", "gzip", "gcc"} {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prog := w.MustCompile(false)
+		g, err := phasemark.Profile(prog, w.Ref...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		set := phasemark.Select(g, opts)
+		markers += len(set.Markers)
+		res, err := phasemark.Segment(prog, set, w.Ref...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cov += phasemark.PhaseCoV(res.Intervals, phasemark.IntervalPhase, phasemark.CPIMetric).CoV
+	}
+	return cov / 3, markers
+}
+
+// BenchmarkAblationFlatCoV compares the paper's scaled per-edge CoV
+// threshold against a flat avg-only threshold.
+func BenchmarkAblationFlatCoV(b *testing.B) {
+	var covBase, covFlat float64
+	var mBase, mFlat int
+	for i := 0; i < b.N; i++ {
+		covBase, mBase = ablationCoV(b, phasemark.SelectOptions{ILower: experiments.ILower})
+		covFlat, mFlat = ablationCoV(b, phasemark.SelectOptions{ILower: experiments.ILower, FlatCoV: true})
+	}
+	b.ReportMetric(100*covBase, "covCPIpct/scaled")
+	b.ReportMetric(100*covFlat, "covCPIpct/flat")
+	b.ReportMetric(float64(mBase), "markers/scaled")
+	b.ReportMetric(float64(mFlat), "markers/flat")
+}
+
+// BenchmarkAblationNoHeadBody drops head-node edges, simulating a graph
+// without the paper's head/body split (§4.2): entry-to-exit aggregation
+// disappears and only per-iteration edges remain candidates.
+func BenchmarkAblationNoHeadBody(b *testing.B) {
+	var covBase, covNoHead float64
+	var mBase, mNoHead int
+	for i := 0; i < b.N; i++ {
+		covBase, mBase = ablationCoV(b, phasemark.SelectOptions{ILower: experiments.ILower})
+		covNoHead, mNoHead = ablationCoV(b, phasemark.SelectOptions{ILower: experiments.ILower, NoHeads: true})
+	}
+	b.ReportMetric(100*covBase, "covCPIpct/full")
+	b.ReportMetric(100*covNoHead, "covCPIpct/noHeads")
+	b.ReportMetric(float64(mBase), "markers/full")
+	b.ReportMetric(float64(mNoHead), "markers/noHeads")
+}
+
+// BenchmarkSegmentation measures marker detection overhead during
+// execution (the runtime cost of "inserted instrumentation").
+func BenchmarkSegmentation(b *testing.B) {
+	w, err := workloads.ByName("art")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog := w.MustCompile(false)
+	g, err := phasemark.Profile(prog, w.Train...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	set := phasemark.Select(g, phasemark.SelectOptions{ILower: experiments.ILower})
+	cfg := trace.Config{Prog: prog, Args: w.Train, Markers: set, SkipBBV: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := trace.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGraphConstruction isolates profiling's graph updates using a
+// recursive, loop-heavy program.
+func BenchmarkGraphConstruction(b *testing.B) {
+	w, err := workloads.ByName("gcc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog := w.MustCompile(false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := core.NewProfiler(prog)
+		m := minivm.NewMachine(prog, p)
+		if _, err := m.Run(w.Train...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSequiturBaseline measures SEQUITUR grammar inference over a
+// dynamic block trace — the per-trace analysis cost the prior approaches
+// pay where marker selection runs on the tiny call-loop graph
+// (BenchmarkMarkerSelection); the §5.1 speed comparison.
+func BenchmarkSequiturBaseline(b *testing.B) {
+	w, err := workloads.ByName("gzip")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog := w.MustCompile(false)
+	tr := &blockTrace{cap: 200_000}
+	m := minivm.NewMachine(prog, tr)
+	if _, err := m.Run(w.Train...); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := sequitur.Build(tr.seq)
+		if g.InputLen() != len(tr.seq) {
+			b.Fatal("bad build")
+		}
+	}
+	b.ReportMetric(float64(len(tr.seq)), "traceEvents")
+}
+
+type blockTrace struct {
+	minivm.NopObserver
+	cap int
+	seq []int
+}
+
+func (t *blockTrace) OnBlock(blk *minivm.Block) {
+	if len(t.seq) < t.cap {
+		t.seq = append(t.seq, blk.ID)
+	}
+}

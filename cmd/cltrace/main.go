@@ -1,0 +1,107 @@
+// Command cltrace runs a program under the timing model and prints its
+// per-interval behavior, segmented either at fixed lengths or at software
+// phase-marker firings (markers selected on a training input first).
+//
+// Usage:
+//
+//	cltrace -workload gzip                 # VLIs from train-selected markers, run on ref
+//	cltrace -workload gzip -fixed 100000   # fixed-length intervals
+//	cltrace -workload gcc -summary         # only the per-phase summary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"phasemark"
+	"phasemark/internal/stats"
+	"phasemark/internal/workloads"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "", "built-in workload name")
+		fixed    = flag.Uint64("fixed", 0, "fixed interval length (0 = use phase markers)")
+		ilower   = flag.Uint64("ilower", 100_000, "marker minimum average interval size")
+		summary  = flag.Bool("summary", false, "print only the per-phase summary")
+		optimize = flag.Bool("opt", false, "compile with optimizations")
+	)
+	flag.Parse()
+	if *workload == "" {
+		fmt.Fprintln(os.Stderr, "cltrace: need -workload (see `phasemark -list`)")
+		os.Exit(2)
+	}
+	w, err := workloads.ByName(*workload)
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := w.Compile(*optimize)
+	if err != nil {
+		fatal(err)
+	}
+
+	var res *phasemark.Result
+	if *fixed > 0 {
+		res, err = phasemark.SegmentFixed(prog, *fixed, w.Ref...)
+	} else {
+		var g *phasemark.Graph
+		g, err = phasemark.Profile(prog, w.Train...)
+		if err != nil {
+			fatal(err)
+		}
+		set := phasemark.Select(g, phasemark.SelectOptions{ILower: *ilower})
+		fmt.Printf("selected %d markers on the train input\n", len(set.Markers))
+		res, err = phasemark.Segment(prog, set, w.Ref...)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	if !*summary {
+		fmt.Printf("%-6s %-8s %12s %12s %8s %10s\n",
+			"#", "phase", "start", "len", "CPI", "DL1 miss")
+		for _, iv := range res.Intervals {
+			fmt.Printf("%-6d %-8d %12d %12d %8.3f %9.2f%%\n",
+				iv.Index, iv.PhaseID, iv.Start, iv.Len(), iv.CPI(), 100*iv.Perf.L1MissRate())
+		}
+	}
+
+	// Per-phase summary.
+	type agg struct {
+		n   int
+		cpi stats.Weighted
+		ins uint64
+	}
+	phases := map[int]*agg{}
+	for _, iv := range res.Intervals {
+		a := phases[iv.PhaseID]
+		if a == nil {
+			a = &agg{}
+			phases[iv.PhaseID] = a
+		}
+		a.n++
+		a.ins += iv.Len()
+		a.cpi.Add(iv.CPI(), float64(iv.Len()))
+	}
+	ids := make([]int, 0, len(phases))
+	for id := range phases {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	fmt.Printf("\n%-8s %-10s %14s %10s %10s\n", "phase", "intervals", "instructions", "mean CPI", "CoV CPI")
+	for _, id := range ids {
+		a := phases[id]
+		fmt.Printf("%-8d %-10d %14d %10.3f %9.2f%%\n",
+			id, a.n, a.ins, a.cpi.Mean(), 100*a.cpi.CoV())
+	}
+	cov := phasemark.PhaseCoV(res.Intervals, phasemark.IntervalPhase, phasemark.CPIMetric)
+	fmt.Printf("\noverall: %d intervals, %d phases, weighted CoV(CPI) = %.2f%%, true CPI = %.3f\n",
+		cov.Intervals, cov.Phases, 100*cov.CoV, res.TrueCPI())
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "cltrace: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,163 @@
+// Command phasemark profiles a program into a call-loop graph and selects
+// software phase markers from it.
+//
+// Usage:
+//
+//	phasemark -workload gzip                      # built-in benchmark, train input
+//	phasemark -workload gzip -input ref           # profile the ref input
+//	phasemark -src prog.mpl -args 20,1000         # compile a source file
+//	phasemark -workload gcc -ilower 50000 -graph  # dump the annotated graph
+//	phasemark -workload art -maxlimit 2000000     # SimPoint limit variant
+//	phasemark -workload art -procs-only           # procedures-only markers
+//	phasemark -workload art -json                 # machine-readable markers
+//	phasemark -workload art -stack                # analyze the stack-ISA binary
+//	phasemark -workload art -emit-asm             # dump the binary as clasm text
+//	phasemark -workload art -instrument           # dump the binary with markers inserted
+//
+// Markers print one per line with their location, expected interval
+// length, traversal count, and hierarchical-count CoV.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"phasemark"
+	"phasemark/internal/compile"
+	"phasemark/internal/core"
+	"phasemark/internal/lang"
+	"phasemark/internal/minivm"
+	"phasemark/internal/workloads"
+)
+
+func main() {
+	var (
+		workload  = flag.String("workload", "", "built-in workload name (see -list)")
+		list      = flag.Bool("list", false, "list built-in workloads")
+		src       = flag.String("src", "", "compile a mini-language source file instead")
+		argsFlag  = flag.String("args", "", "comma-separated int64 program arguments")
+		input     = flag.String("input", "train", "built-in input to profile: train or ref")
+		optimize  = flag.Bool("opt", false, "compile with optimizations")
+		ilower    = flag.Uint64("ilower", 100_000, "minimum average interval size (instructions)")
+		maxlimit  = flag.Uint64("maxlimit", 0, "maximum interval size (0 = no limit)")
+		procsOnly = flag.Bool("procs-only", false, "mark only procedure edges")
+		dumpGraph = flag.Bool("graph", false, "dump the annotated call-loop graph")
+		asJSON    = flag.Bool("json", false, "emit markers as JSON")
+		stack     = flag.Bool("stack", false, "compile with the stack-machine backend (second ISA)")
+		emitAsm   = flag.Bool("emit-asm", false, "dump the compiled binary as clasm assembly and exit")
+		doInstr   = flag.Bool("instrument", false, "dump the binary with mark instructions physically inserted")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, w := range workloads.All() {
+			fmt.Printf("%-9s %s\n", w.Name, w.Desc)
+		}
+		return
+	}
+
+	prog, args, err := loadProgram(*workload, *src, *argsFlag, *input,
+		compile.Options{Optimize: *optimize, Stack: *stack})
+	if err != nil {
+		fatal(err)
+	}
+	if *emitAsm {
+		fmt.Print(minivm.Print(prog))
+		return
+	}
+	g, err := phasemark.Profile(prog, args...)
+	if err != nil {
+		fatal(err)
+	}
+	if *dumpGraph {
+		fmt.Print(g.Dump())
+	}
+	set := phasemark.Select(g, phasemark.SelectOptions{
+		ILower:    *ilower,
+		MaxLimit:  *maxlimit,
+		ProcsOnly: *procsOnly,
+	})
+	if *doInstr {
+		inst, err := core.Instrument(prog, set)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(minivm.Print(inst))
+		return
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(set); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Printf("%s\n", set)
+	for i, m := range set.Markers {
+		grp := ""
+		if m.GroupN > 1 {
+			grp = fmt.Sprintf(" group=%d", m.GroupN)
+		}
+		forced := ""
+		if m.Forced {
+			forced = " (forced by max-limit)"
+		}
+		fmt.Printf("M%-3d %-48s avgLen=%-10.0f count=%-8d cov=%.4f%s%s\n",
+			i, m.Key, m.AvgLen, m.Count, m.CoV, grp, forced)
+	}
+}
+
+func loadProgram(workload, src, argsFlag, input string, copts compile.Options) (*phasemark.Program, []int64, error) {
+	var args []int64
+	if argsFlag != "" {
+		for _, part := range strings.Split(argsFlag, ",") {
+			v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("bad -args: %w", err)
+			}
+			args = append(args, v)
+		}
+	}
+	switch {
+	case src != "":
+		text, err := os.ReadFile(src)
+		if err != nil {
+			return nil, nil, err
+		}
+		prog, err := compile.CompileSource(string(text), copts)
+		return prog, args, err
+	case workload != "":
+		w, err := workloads.ByName(workload)
+		if err != nil {
+			return nil, nil, err
+		}
+		f, err := lang.Parse(w.Source)
+		if err != nil {
+			return nil, nil, err
+		}
+		prog, err := compile.Compile(f, copts)
+		if err != nil {
+			return nil, nil, err
+		}
+		if args == nil {
+			if input == "ref" {
+				args = w.Ref
+			} else {
+				args = w.Train
+			}
+		}
+		return prog, args, nil
+	default:
+		return nil, nil, fmt.Errorf("need -workload or -src (try -list)")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "phasemark: %v\n", err)
+	os.Exit(1)
+}

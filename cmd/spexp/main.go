@@ -1,0 +1,75 @@
+// Command spexp regenerates the paper's evaluation tables and figures on
+// the synthetic workload suite.
+//
+// Usage:
+//
+//	spexp -fig all          # everything (several minutes)
+//	spexp -fig 7            # one figure: 3,4,5,7,8,9,10,11,12
+//	spexp -fig crossbinary  # the §6.2.1 cross-binary study
+//	spexp -fig speed        # the §5.1 selection-cost table
+//
+// Figure 5 covers the paper's Figures 5 and 6 (one comparison), and
+// Figures 7/8/9 share their underlying runs, as do 11/12.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"phasemark/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 3,4,5,7,8,9,10,11,12,crossbinary,speed,scales,all")
+	flag.Parse()
+
+	s := experiments.NewSuite()
+	type figFn struct {
+		name string
+		fn   func() (*experiments.Table, error)
+	}
+	all := []figFn{
+		{"3", s.Fig3},
+		{"4", s.Fig4},
+		{"5", s.Fig56},
+		{"7", s.Fig7},
+		{"8", s.Fig8},
+		{"9", s.Fig9},
+		{"10", s.Fig10},
+		{"11", s.Fig11},
+		{"12", s.Fig12},
+		{"crossbinary", s.CrossBinary},
+		{"speed", s.SelectionSpeed},
+		{"scales", s.Scales},
+	}
+	want := map[string]bool{}
+	for _, f := range strings.Split(*fig, ",") {
+		f = strings.TrimSpace(f)
+		if f == "6" {
+			f = "5"
+		}
+		want[f] = true
+	}
+	ran := 0
+	for _, ff := range all {
+		if !want["all"] && !want[ff.name] {
+			continue
+		}
+		start := time.Now()
+		t, err := ff.fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spexp: figure %s: %v\n", ff.name, err)
+			os.Exit(1)
+		}
+		t.Render(os.Stdout)
+		fmt.Printf("(figure %s computed in %v)\n\n", ff.name, time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "spexp: no figure matches %q\n", *fig)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,96 @@
+// Cross-binary phase markers (§6.2.1): select markers on an unoptimized
+// build, map them through source-position debug info to an optimized build
+// AND to a stack-machine build (a different instruction set) of the same
+// source, and verify all three binaries fire the exact same marker
+// sequence on the same input — so simulation points defined by markers can
+// be reused across compilations and ISAs (the paper's Alpha→x86 scenario).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"phasemark"
+	"phasemark/internal/compile"
+	"phasemark/internal/lang"
+	"phasemark/internal/workloads"
+)
+
+func main() {
+	w, err := workloads.ByName("bzip2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	plain, err := w.Compile(false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt, err := w.Compile(true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := lang.Parse(w.Source)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stack, err := compile.Compile(f, compile.Options{Stack: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bzip2: -O0 has %d static blocks, optimized %d, stack ISA %d\n",
+		plain.NumBlocks, opt.NumBlocks, stack.NumBlocks)
+
+	// Select markers on the -O0 binary using the train input.
+	graph, err := phasemark.Profile(plain, w.Train...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	set := phasemark.Select(graph, phasemark.SelectOptions{ILower: 100_000})
+
+	// Map each marker to the optimized binary: procedures by name, loops
+	// and call sites by source line/column.
+	mapped, n, err := phasemark.MapMarkers(set, plain, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mapped %d/%d markers into the optimized binary\n", n, len(set.Markers))
+
+	mappedStack, nStack, err := phasemark.MapMarkers(set, plain, stack)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mapped %d/%d markers into the stack-ISA binary\n", nStack, len(set.Markers))
+
+	// Run all three binaries on the ref input and compare marker traces.
+	t0, err := phasemark.MarkerTrace(plain, set, w.Ref...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	t1, err := phasemark.MarkerTrace(opt, mapped, w.Ref...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	t2, err := phasemark.MarkerTrace(stack, mappedStack, w.Ref...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("-O0 fired %d markers, optimized %d, stack ISA %d\n", len(t0), len(t1), len(t2))
+
+	same := len(t0) == len(t1) && len(t0) == len(t2)
+	for i := 0; same && i < len(t0); i++ {
+		same = t0[i] == t1[i] && t0[i] == t2[i]
+	}
+	if same {
+		fmt.Println("marker traces are IDENTICAL across all three binaries:")
+		fmt.Println("simulation points chosen on one identify the same execution")
+		fmt.Println("regions in the others — including across instruction sets")
+	} else {
+		fmt.Println("marker traces DIVERGED (unexpected)")
+	}
+
+	show := len(t0)
+	if show > 16 {
+		show = 16
+	}
+	fmt.Printf("first firings: %v ...\n", t0[:show])
+}

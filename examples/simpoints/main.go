@@ -1,0 +1,68 @@
+// SimPoint with variable-length intervals: select limit-variant phase
+// markers, cut the execution into VLIs at marker firings, cluster the
+// interval BBVs with weighted k-means + BIC, pick one simulation point per
+// cluster, and estimate whole-program CPI from the points alone (§5.2,
+// Figures 11/12).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"phasemark"
+	"phasemark/internal/simpoint"
+	"phasemark/internal/workloads"
+)
+
+func main() {
+	w, err := workloads.ByName("gzip")
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := w.Compile(false)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The limit variant bounds interval sizes to [100k, 2M] instructions
+	// so simulation points stay cheap to simulate in detail.
+	graph, err := phasemark.Profile(prog, w.Ref...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	set := phasemark.Select(graph, phasemark.SelectOptions{
+		ILower:   100_000,
+		MaxLimit: 2_000_000,
+	})
+	res, err := phasemark.Segment(prog, set, w.Ref...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("gzip ref: %d instructions cut into %d variable-length intervals\n",
+		res.Instructions, len(res.Intervals))
+
+	// SimPoint 3.0-style VLI clustering: interval weights = instruction
+	// counts; BIC picks the number of phases.
+	cl := simpoint.Classify(res, simpoint.Options{KMax: 30, Seed: 7})
+	pts := simpoint.PickPoints(cl, cl.Points())
+	fmt.Printf("BIC selected k=%d clusters\n\n", cl.K)
+
+	for _, cov := range []float64{0.95, 0.99, 1.0} {
+		kept := pts
+		if cov < 1 {
+			kept = simpoint.Filter(pts, cov)
+		}
+		est := simpoint.Evaluate(kept, res.Intervals, res.TrueCPI(), cl.K)
+		fmt.Printf("coverage %3.0f%%: %2d simulation points, %8d instrs to simulate, "+
+			"estimated CPI %.4f vs true %.4f (%.2f%% error)\n",
+			100*cov, len(kept), est.SimulatedIns, est.EstimatedCPI, est.TrueCPI,
+			100*est.RelativeError)
+	}
+
+	fmt.Println("\nsimulation points (interval, phase marker, weight):")
+	for _, p := range pts {
+		iv := res.Intervals[p.Interval]
+		fmt.Printf("  cluster %2d -> interval %4d (phase %2d, %8d instrs) weight %.3f\n",
+			p.Cluster, p.Interval, iv.PhaseID, iv.Len(), p.Weight)
+	}
+}

@@ -1,0 +1,3 @@
+module phasemark
+
+go 1.22

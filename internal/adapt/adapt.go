@@ -1,0 +1,181 @@
+// Package adapt implements the data-cache reconfiguration study of §6.1:
+// an adaptive cache (64-byte blocks, 512 sets, 1–8 ways ⇒ 32–256 KB) is
+// reconfigured at phase boundaries. For each phase ID the first two
+// intervals are spent experimenting to find the best configuration — the
+// smallest cache with no increase in miss rate over the largest — and the
+// phase's configuration is reused whenever its marker fires again.
+//
+// Phase boundaries can come from software phase markers (ours), from
+// reuse-distance markers (the Shen et al. baseline), from fixed-length
+// intervals classified by an idealized SimPoint (the "BBV" bar), or from a
+// best-fixed-size oracle.
+package adapt
+
+import (
+	"fmt"
+
+	"phasemark/internal/bbv"
+	"phasemark/internal/core"
+	"phasemark/internal/minivm"
+	"phasemark/internal/reuse"
+	"phasemark/internal/uarch"
+)
+
+// NumConfigs is the number of adaptive configurations (1..8 ways).
+const NumConfigs = 8
+
+// BaseConfig is one way of the adaptive cache: 64 B × 512 sets = 32 KB.
+var BaseConfig = uarch.CacheConfig{BlockBytes: 64, Sets: 512, Ways: 1}
+
+// SizeKB reports the size of configuration c (0-based: c+1 ways).
+func SizeKB(c int) int { return BaseConfig.SizeBytes() * (c + 1) / 1024 }
+
+// Interval is one phase-delimited slice of execution with per-config cache
+// statistics (all configurations are simulated in parallel, warm, as in
+// Cheetah-style multi-configuration simulation).
+type Interval struct {
+	Phase    int
+	Instrs   uint64
+	Accesses uint64
+	Misses   [NumConfigs]uint64
+}
+
+// RunResult is a segmented multi-configuration cache simulation.
+type RunResult struct {
+	Intervals   []Interval
+	TotalInstrs uint64
+	NumBlocks   int
+	BBVs        []bbv.Vector // collected only for fixed-length runs
+}
+
+// Source selects the phase-boundary mechanism; exactly one field is used,
+// checked in order: FixedLen, SPM, Reuse.
+type Source struct {
+	FixedLen uint64          // fixed-length intervals (BBV / best-fixed baselines)
+	SPM      *core.MarkerSet // software phase markers
+	Reuse    *reuse.Markers  // reuse-distance markers
+	Loops    *minivm.Loops   // optional cached loop table for SPM
+}
+
+type multiCache struct {
+	minivm.NopObserver
+	caches   [NumConfigs]*uarch.Cache
+	accesses uint64
+	misses   [NumConfigs]uint64
+}
+
+func newMultiCache() *multiCache {
+	mc := &multiCache{}
+	for i := range mc.caches {
+		cfg := BaseConfig
+		cfg.Ways = i + 1
+		mc.caches[i] = uarch.NewCache(cfg)
+	}
+	return mc
+}
+
+// OnMem implements minivm.Observer.
+func (mc *multiCache) OnMem(addr uint64, write bool) {
+	mc.accesses++
+	for i, c := range mc.caches {
+		if !c.Access(addr) {
+			mc.misses[i]++
+		}
+	}
+}
+
+type segmenter struct {
+	mc        *multiCache
+	intervals []Interval
+	lastAcc   uint64
+	lastMiss  [NumConfigs]uint64
+	lastCut   uint64
+	phase     int
+
+	bbvAcc  *bbv.Accumulator
+	bbvs    []bbv.Vector
+	collect bool
+}
+
+func (s *segmenter) cut(phase int, at uint64) {
+	if at == s.lastCut {
+		s.phase = phase
+		return
+	}
+	iv := Interval{Phase: s.phase, Instrs: at - s.lastCut, Accesses: s.mc.accesses - s.lastAcc}
+	for i := range iv.Misses {
+		iv.Misses[i] = s.mc.misses[i] - s.lastMiss[i]
+	}
+	s.intervals = append(s.intervals, iv)
+	if s.collect {
+		s.bbvs = append(s.bbvs, s.bbvAcc.Snapshot())
+	}
+	s.lastCut = at
+	s.lastAcc = s.mc.accesses
+	s.lastMiss = s.mc.misses
+	s.phase = phase
+}
+
+type fixedCutter struct {
+	minivm.NopObserver
+	s      *segmenter
+	instrs uint64
+	next   uint64
+	step   uint64
+}
+
+func (f *fixedCutter) OnBlock(b *minivm.Block) {
+	if f.instrs >= f.next {
+		f.s.cut(-1, f.instrs)
+		f.next += f.step
+	}
+	f.instrs += uint64(b.Weight())
+}
+
+type bbvObs struct {
+	minivm.NopObserver
+	acc *bbv.Accumulator
+}
+
+func (o bbvObs) OnBlock(b *minivm.Block) { o.acc.Touch(b.ID, b.Weight()) }
+
+// Run executes prog under the multi-configuration cache simulation,
+// cutting intervals per src.
+func Run(prog *minivm.Program, args []int64, src Source) (*RunResult, error) {
+	mc := newMultiCache()
+	seg := &segmenter{mc: mc, phase: -1}
+
+	var obs minivm.MultiObserver
+	switch {
+	case src.FixedLen > 0:
+		seg.collect = true
+		seg.bbvAcc = bbv.NewAccumulator(prog.NumBlocks)
+		obs = append(obs, &fixedCutter{s: seg, next: src.FixedLen, step: src.FixedLen})
+		obs = append(obs, bbvObs{acc: seg.bbvAcc})
+	case src.SPM != nil:
+		det := core.NewDetector(prog, src.Loops, src.SPM, func(marker int, at uint64) {
+			seg.cut(marker, at)
+		})
+		obs = append(obs, det)
+	case src.Reuse != nil:
+		det := reuse.NewDetector(src.Reuse, func(phase int, at uint64) {
+			seg.cut(phase, at)
+		})
+		obs = append(obs, det)
+	default:
+		return nil, fmt.Errorf("adapt: empty source")
+	}
+	obs = append(obs, mc)
+
+	m := minivm.NewMachine(prog, obs)
+	if _, err := m.Run(args...); err != nil {
+		return nil, fmt.Errorf("adapt: run failed: %w", err)
+	}
+	seg.cut(-1, m.Instructions())
+	return &RunResult{
+		Intervals:   seg.intervals,
+		TotalInstrs: m.Instructions(),
+		NumBlocks:   prog.NumBlocks,
+		BBVs:        seg.bbvs,
+	}, nil
+}

@@ -1,0 +1,214 @@
+package adapt
+
+import (
+	"testing"
+
+	"phasemark/internal/compile"
+	"phasemark/internal/core"
+)
+
+// multiScaleSrc has a large-working-set phase (only the 256KB config holds
+// it across sweeps) and a small one (any config works).
+const multiScaleSrc = `
+array big[32768];
+array tiny[1024];
+proc bigSweep(sweeps) {
+	var s = 0;
+	for (var w = 0; w < sweeps; w = w + 1) {
+		for (var i = 0; i < 32768; i = i + 1) { s = s + big[i]; }
+	}
+	return s;
+}
+proc tinySweep(sweeps) {
+	var s = 0;
+	for (var w = 0; w < sweeps; w = w + 1) {
+		for (var i = 0; i < 1024; i = i + 1) { s = s + tiny[i]; }
+	}
+	return s;
+}
+proc main(reps) {
+	var s = 0;
+	for (var r = 0; r < reps; r = r + 1) {
+		s = s + bigSweep(3) + tinySweep(60);
+	}
+	out(s);
+	return s;
+}
+`
+
+func setup(t *testing.T) (*RunResult, *core.MarkerSet) {
+	t.Helper()
+	prog, err := compile.CompileSource(multiScaleSrc, compile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := core.ProfileRun(prog, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := core.SelectMarkers(g, core.SelectOptions{ILower: 100_000})
+	if len(set.Markers) == 0 {
+		t.Fatal("no markers")
+	}
+	res, err := Run(prog, []int64{6}, Source{SPM: set})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, set
+}
+
+func TestMissMonotoneAcrossConfigs(t *testing.T) {
+	res, _ := setup(t)
+	// LRU inclusion: within every interval, more ways never means more
+	// misses.
+	for _, iv := range res.Intervals {
+		for c := 1; c < NumConfigs; c++ {
+			if iv.Misses[c] > iv.Misses[c-1] {
+				t.Fatalf("interval misses not monotone: %v", iv.Misses)
+			}
+		}
+	}
+}
+
+func TestIntervalsCoverRun(t *testing.T) {
+	res, _ := setup(t)
+	var ins uint64
+	for _, iv := range res.Intervals {
+		ins += iv.Instrs
+	}
+	if ins != res.TotalInstrs {
+		t.Fatalf("intervals cover %d of %d", ins, res.TotalInstrs)
+	}
+}
+
+func TestAdaptivePolicyShrinksWithoutMissIncrease(t *testing.T) {
+	res, _ := setup(t)
+	pol := Evaluate(res, nil)
+	if pol.AvgCacheKB >= 256 {
+		t.Fatalf("adaptive policy never shrank: %.1f KB", pol.AvgCacheKB)
+	}
+	if pol.MissRate > pol.BaseRate*1.0001 {
+		t.Fatalf("policy increased misses: %v vs %v", pol.MissRate, pol.BaseRate)
+	}
+	if pol.Phases < 2 {
+		t.Fatalf("phases = %d", pol.Phases)
+	}
+}
+
+func TestBestFixedIsLargestOnlyWhenNeeded(t *testing.T) {
+	res, _ := setup(t)
+	bf := BestFixed(res)
+	// bigSweep re-sweeps 256KB: only the full cache avoids capacity misses,
+	// so best fixed must be 256KB here.
+	if bf.AvgCacheKB != 256 {
+		t.Fatalf("best fixed = %v KB, want 256", bf.AvgCacheKB)
+	}
+	// And the adaptive policy must beat it on average size.
+	pol := Evaluate(res, nil)
+	if pol.AvgCacheKB >= bf.AvgCacheKB {
+		t.Fatalf("adaptive %.1f KB not below best fixed %.1f KB",
+			pol.AvgCacheKB, bf.AvgCacheKB)
+	}
+}
+
+func TestFixedSourceCollectsBBVs(t *testing.T) {
+	prog, err := compile.CompileSource(multiScaleSrc, compile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(prog, []int64{3}, Source{FixedLen: 100_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.BBVs) != len(res.Intervals) {
+		t.Fatalf("BBVs %d vs intervals %d", len(res.BBVs), len(res.Intervals))
+	}
+	for i, v := range res.BBVs {
+		if v.L1() == 0 {
+			t.Fatalf("empty BBV at %d", i)
+		}
+	}
+}
+
+func TestPhaseOverride(t *testing.T) {
+	res, _ := setup(t)
+	// Forcing everything into one phase must explore once and lock one
+	// config for the rest.
+	pol := Evaluate(res, func(i int) int { return 0 })
+	if pol.Phases != 1 {
+		t.Fatalf("phases = %d", pol.Phases)
+	}
+}
+
+func TestChooseConfigPicksSmallestEquivalent(t *testing.T) {
+	var m [NumConfigs]uint64
+	for i := range m {
+		m[i] = 100
+	}
+	if c := chooseConfig(m); c != 0 {
+		t.Fatalf("all-equal misses chose %d, want 0", c)
+	}
+	m = [NumConfigs]uint64{900, 500, 300, 200, 200, 200, 200, 200}
+	if c := chooseConfig(m); c != 3 {
+		t.Fatalf("chose %d, want 3 (first equal to the largest)", c)
+	}
+}
+
+func TestSizeKB(t *testing.T) {
+	if SizeKB(0) != 32 || SizeKB(7) != 256 {
+		t.Fatalf("sizes: %d..%d", SizeKB(0), SizeKB(7))
+	}
+}
+
+func TestEmptySourceErrors(t *testing.T) {
+	prog, err := compile.CompileSource(multiScaleSrc, compile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(prog, []int64{1}, Source{}); err == nil {
+		t.Fatal("empty source accepted")
+	}
+}
+
+// RunOnline drives a real resizable cache from the instrumented binary's
+// mark stream. Its results must land close to the offline policy estimate
+// and must not meaningfully increase misses over always-full-size.
+func TestOnlineReconfigurationMatchesOfflinePolicy(t *testing.T) {
+	prog, err := compile.CompileSource(multiScaleSrc, compile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := core.ProfileRun(prog, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := core.SelectMarkers(g, core.SelectOptions{ILower: 100_000})
+	offRes, err := Run(prog, []int64{6}, Source{SPM: set})
+	if err != nil {
+		t.Fatal(err)
+	}
+	offline := Evaluate(offRes, nil)
+
+	online, err := RunOnline(prog, set, []int64{6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if online.Resizes == 0 {
+		t.Fatal("live cache never resized")
+	}
+	if online.AvgCacheKB >= 256 {
+		t.Fatalf("online never shrank: %.1f KB", online.AvgCacheKB)
+	}
+	// Online average size within 25% of the offline estimate.
+	ratio := online.AvgCacheKB / offline.AvgCacheKB
+	if ratio < 0.75 || ratio > 1.25 {
+		t.Fatalf("online %.1f KB vs offline %.1f KB (ratio %.2f)",
+			online.AvgCacheKB, offline.AvgCacheKB, ratio)
+	}
+	// Miss rate close to the always-256KB baseline (resize transients
+	// allowed a small margin).
+	base := offline.BaseRate
+	if online.MissRate > base*1.15+0.0005 {
+		t.Fatalf("online miss rate %.5f vs full-size %.5f", online.MissRate, base)
+	}
+}

@@ -1,0 +1,174 @@
+package adapt
+
+import (
+	"fmt"
+
+	"phasemark/internal/core"
+	"phasemark/internal/minivm"
+	"phasemark/internal/uarch"
+)
+
+// Online reconfiguration: where Run/Evaluate compute the policy offline
+// from a parallel multi-configuration simulation, RunOnline actually
+// executes a *physically instrumented* binary (core.Instrument) and
+// resizes one live cache at marker firings — the paper's deployment story
+// end to end: "inserting code into the binary at phase markers to trigger
+// reconfiguration".
+//
+// During a phase's two exploration intervals the live cache runs at full
+// size while shadow tag arrays (tag-only copies, the standard hardware
+// trick for evaluating alternative configurations) observe the same
+// accesses; the phase then locks the smallest configuration with no more
+// misses than full size, and every later occurrence of the phase switches
+// the live cache to it via state-preserving way shutdown (deactivated ways
+// retain their contents and reappear on growth), applied lazily at the
+// next access so zero-length marker-chain intervals cost nothing.
+
+// OnlineResult summarizes a live reconfiguration run.
+type OnlineResult struct {
+	AvgCacheKB float64 // instruction-weighted average live configuration
+	MissRate   float64 // misses of the live, resizing cache
+	Phases     int
+	Resizes    int
+}
+
+type onlineState struct {
+	live    *uarch.Cache
+	shadows [NumConfigs]*uarch.Cache
+	explore bool
+	pending int // ways to apply at the next access (lazy reconfiguration)
+
+	phases  map[int]*onlinePhase
+	current *onlinePhase
+
+	instrs     uint64
+	lastCut    uint64
+	weightedKB float64
+	misses     uint64
+	accesses   uint64
+	shadowBase [NumConfigs]uint64
+	resizes    int
+}
+
+type onlinePhase struct {
+	seen   int
+	locked int // config index; -1 while exploring
+	misses [NumConfigs]uint64
+}
+
+func newOnlineState() *onlineState {
+	st := &onlineState{phases: map[int]*onlinePhase{}}
+	st.live = uarch.NewCache(uarch.CacheConfig{
+		BlockBytes: BaseConfig.BlockBytes, Sets: BaseConfig.Sets, Ways: NumConfigs,
+	})
+	for i := range st.shadows {
+		cfg := BaseConfig
+		cfg.Ways = i + 1
+		st.shadows[i] = uarch.NewCache(cfg)
+	}
+	return st
+}
+
+// onMem implements the data path: the live cache always services the
+// access; shadows observe only while exploring. Reconfiguration takes
+// effect lazily at the first access of an interval, so zero-access
+// connector intervals between chained markers never thrash the cache.
+func (st *onlineState) onMem(addr uint64) {
+	if st.pending != 0 && st.pending != st.live.ActiveWays() {
+		st.live.SetActiveWays(st.pending)
+		st.resizes++
+	}
+	st.pending = 0
+	st.accesses++
+	if !st.live.Access(addr) {
+		st.misses++
+	}
+	if st.explore {
+		for _, sh := range st.shadows {
+			sh.Access(addr)
+		}
+	}
+}
+
+// boundary handles a phase-marker firing.
+func (st *onlineState) boundary(phase int) {
+	st.closeInterval()
+	ph := st.phases[phase]
+	if ph == nil {
+		ph = &onlinePhase{locked: -1}
+		st.phases[phase] = ph
+	}
+	st.current = ph
+	if ph.locked >= 0 {
+		st.setWays(ph.locked + 1)
+		st.explore = false
+		return
+	}
+	// Explore at full size with shadows watching.
+	st.setWays(NumConfigs)
+	st.explore = true
+	for i, sh := range st.shadows {
+		st.shadowBase[i] = sh.Misses()
+	}
+}
+
+// closeInterval accounts the finished interval and, if it was an
+// exploration interval, folds the shadow observations into the phase.
+func (st *onlineState) closeInterval() {
+	w := float64(st.instrs - st.lastCut)
+	st.weightedKB += float64(st.live.ActiveSizeBytes()/1024) * w
+	st.lastCut = st.instrs
+	if st.current == nil || !st.explore {
+		return
+	}
+	ph := st.current
+	// The phase's first exploration interval only warms the shadows (cold
+	// shadow tags make every configuration look alike); the second one
+	// measures — still "two intervals spent experimenting" as in §6.1.
+	if ph.seen > 0 {
+		for i, sh := range st.shadows {
+			ph.misses[i] += sh.Misses() - st.shadowBase[i]
+		}
+	}
+	ph.seen++
+	if ph.seen >= ExploreIntervals {
+		ph.locked = chooseConfig(ph.misses)
+	}
+}
+
+func (st *onlineState) setWays(ways int) { st.pending = ways }
+
+type onlineObs struct {
+	minivm.NopObserver
+	st *onlineState
+}
+
+func (o onlineObs) OnBlock(b *minivm.Block) { o.st.instrs += uint64(b.Weight()) }
+func (o onlineObs) OnMem(addr uint64, write bool) {
+	o.st.onMem(addr)
+}
+
+// RunOnline instruments prog with the marker set, executes it, and
+// reconfigures a single live cache at every marker firing.
+func RunOnline(prog *minivm.Program, set *core.MarkerSet, args []int64) (*OnlineResult, error) {
+	inst, err := core.Instrument(prog, set)
+	if err != nil {
+		return nil, err
+	}
+	st := newOnlineState()
+	h := core.NewMarkHandler(set, func(marker int) { st.boundary(marker) })
+	m := minivm.NewMachine(inst, onlineObs{st: st})
+	m.MarkFunc = h.Fn
+	if _, err := m.Run(args...); err != nil {
+		return nil, fmt.Errorf("adapt: online run: %w", err)
+	}
+	st.closeInterval()
+	res := &OnlineResult{Phases: len(st.phases), Resizes: st.resizes}
+	if st.instrs > 0 {
+		res.AvgCacheKB = st.weightedKB / float64(st.instrs)
+	}
+	if st.accesses > 0 {
+		res.MissRate = float64(st.misses) / float64(st.accesses)
+	}
+	return res, nil
+}

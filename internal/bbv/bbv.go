@@ -1,0 +1,118 @@
+// Package bbv implements basic block vectors (§2.2): per-interval
+// fingerprints where each dimension is a static basic block and each entry
+// is the block's execution count times its instruction count. Vectors are
+// stored sparsely, normalized to unit L1 mass for comparison, and reduced
+// by random linear projection for clustering and visualization.
+package bbv
+
+import (
+	"math"
+	"sort"
+
+	"phasemark/internal/stats"
+)
+
+// Vector is a sparse basic block vector: parallel slices of block IDs
+// (ascending) and size-weighted execution counts.
+type Vector struct {
+	Idx []int32
+	Val []float64
+}
+
+// L1 reports the vector's L1 mass (total weighted instruction count).
+func (v Vector) L1() float64 {
+	var s float64
+	for _, x := range v.Val {
+		s += x
+	}
+	return s
+}
+
+// Normalized returns a copy scaled to unit L1 mass (zero vectors are
+// returned as-is).
+func (v Vector) Normalized() Vector {
+	s := v.L1()
+	out := Vector{Idx: v.Idx, Val: make([]float64, len(v.Val))}
+	if s == 0 {
+		copy(out.Val, v.Val)
+		return out
+	}
+	for i, x := range v.Val {
+		out.Val[i] = x / s
+	}
+	return out
+}
+
+// ManhattanNormed computes the L1 distance between the two vectors after
+// normalizing each to unit mass — SimPoint's interval similarity measure.
+func ManhattanNormed(a, b Vector) float64 {
+	an, bn := a.Normalized(), b.Normalized()
+	var d float64
+	i, j := 0, 0
+	for i < len(an.Idx) && j < len(bn.Idx) {
+		switch {
+		case an.Idx[i] == bn.Idx[j]:
+			d += math.Abs(an.Val[i] - bn.Val[j])
+			i++
+			j++
+		case an.Idx[i] < bn.Idx[j]:
+			d += an.Val[i]
+			i++
+		default:
+			d += bn.Val[j]
+			j++
+		}
+	}
+	for ; i < len(an.Idx); i++ {
+		d += an.Val[i]
+	}
+	for ; j < len(bn.Idx); j++ {
+		d += bn.Val[j]
+	}
+	return d
+}
+
+// Project reduces the normalized vector to p.Out dimensions.
+func (v Vector) Project(p *stats.Projection) []float64 {
+	n := v.Normalized()
+	idx := make([]int, len(n.Idx))
+	for i, x := range n.Idx {
+		idx[i] = int(x)
+	}
+	return p.ApplySparse(idx, n.Val)
+}
+
+// Accumulator gathers block executions for the current interval using a
+// dense scratch array plus a touched list, snapshotting to sparse vectors
+// at interval boundaries.
+type Accumulator struct {
+	counts  []float64
+	touched []int32
+}
+
+// NewAccumulator sizes the scratch for numBlocks static blocks.
+func NewAccumulator(numBlocks int) *Accumulator {
+	return &Accumulator{counts: make([]float64, numBlocks)}
+}
+
+// Touch records one execution of block id with the given instruction
+// weight.
+func (a *Accumulator) Touch(id int, weight int) {
+	if a.counts[id] == 0 {
+		a.touched = append(a.touched, int32(id))
+	}
+	a.counts[id] += float64(weight)
+}
+
+// Snapshot extracts the accumulated vector and resets the accumulator.
+func (a *Accumulator) Snapshot() Vector {
+	sort.Slice(a.touched, func(i, j int) bool { return a.touched[i] < a.touched[j] })
+	v := Vector{Idx: make([]int32, len(a.touched)), Val: make([]float64, len(a.touched))}
+	for i, id := range a.touched {
+		v.Idx[i] = id
+		v.Val[i] = a.counts[id]
+		a.counts[id] = 0
+	}
+	a.touched = a.touched[:0]
+	return v
+}

@@ -1,0 +1,118 @@
+package bbv
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"phasemark/internal/stats"
+)
+
+func vec(pairs ...float64) Vector {
+	v := Vector{}
+	for i := 0; i < len(pairs); i += 2 {
+		v.Idx = append(v.Idx, int32(pairs[i]))
+		v.Val = append(v.Val, pairs[i+1])
+	}
+	return v
+}
+
+func TestAccumulatorSnapshot(t *testing.T) {
+	a := NewAccumulator(10)
+	a.Touch(3, 5)
+	a.Touch(7, 2)
+	a.Touch(3, 5)
+	v := a.Snapshot()
+	if len(v.Idx) != 2 || v.Idx[0] != 3 || v.Idx[1] != 7 {
+		t.Fatalf("idx = %v", v.Idx)
+	}
+	if v.Val[0] != 10 || v.Val[1] != 2 {
+		t.Fatalf("val = %v", v.Val)
+	}
+	// Snapshot resets.
+	v2 := a.Snapshot()
+	if len(v2.Idx) != 0 {
+		t.Fatalf("accumulator not reset: %v", v2.Idx)
+	}
+	a.Touch(1, 1)
+	v3 := a.Snapshot()
+	if len(v3.Idx) != 1 || v3.Idx[0] != 1 {
+		t.Fatalf("reuse after reset: %v", v3)
+	}
+}
+
+func TestNormalized(t *testing.T) {
+	v := vec(0, 2, 5, 6)
+	n := v.Normalized()
+	if n.L1() != 1 {
+		t.Fatalf("L1 = %v", n.L1())
+	}
+	if n.Val[0] != 0.25 || n.Val[1] != 0.75 {
+		t.Fatalf("vals = %v", n.Val)
+	}
+	// Zero vector survives.
+	z := Vector{}
+	if z.Normalized().L1() != 0 {
+		t.Fatal("zero vector")
+	}
+}
+
+func TestManhattanNormedKnownValues(t *testing.T) {
+	a := vec(0, 1)       // all mass on block 0
+	b := vec(1, 1)       // all mass on block 1
+	c := vec(0, 1, 1, 1) // split evenly
+	if d := ManhattanNormed(a, b); d != 2 {
+		t.Errorf("disjoint distance = %v, want 2", d)
+	}
+	if d := ManhattanNormed(a, a); d != 0 {
+		t.Errorf("self distance = %v", d)
+	}
+	if d := ManhattanNormed(a, c); math.Abs(d-1) > 1e-12 {
+		t.Errorf("half-overlap distance = %v, want 1", d)
+	}
+	// Scale invariance: distance uses normalized vectors.
+	a10 := vec(0, 10)
+	if d := ManhattanNormed(a10, b); d != 2 {
+		t.Errorf("scaled distance = %v, want 2", d)
+	}
+}
+
+// Properties of the distance: symmetry, bounds [0,2], identity.
+func TestManhattanNormedProperties(t *testing.T) {
+	gen := func(seed uint64) Vector {
+		r := stats.NewRNG(seed)
+		n := r.Intn(8) + 1
+		v := Vector{}
+		idx := 0
+		for i := 0; i < n; i++ {
+			idx += r.Intn(5) + 1
+			v.Idx = append(v.Idx, int32(idx))
+			v.Val = append(v.Val, r.Float64()*10+0.01)
+		}
+		return v
+	}
+	f := func(s1, s2 uint64) bool {
+		a, b := gen(s1), gen(s2)
+		d1 := ManhattanNormed(a, b)
+		d2 := ManhattanNormed(b, a)
+		return math.Abs(d1-d2) < 1e-12 && d1 >= 0 && d1 <= 2+1e-12 &&
+			ManhattanNormed(a, a) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProjectMatchesDense(t *testing.T) {
+	p := stats.NewProjection(16, 3, 9)
+	v := vec(2, 4, 9, 12)
+	got := v.Project(p)
+	dense := make([]float64, 16)
+	dense[2], dense[9] = 0.25, 0.75
+	want := p.Apply(dense)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("projection mismatch: %v vs %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,322 @@
+// Package compile lowers the mini language AST to minivm IR.
+//
+// It provides two compilation modes: a direct translation ("-O0") and an
+// optimizing build (constant folding, copy propagation, dead-code
+// elimination, jump threading, block merging). The two modes produce
+// observably equivalent programs (identical out() streams) with different
+// basic-block structure — which is exactly what the paper's cross-binary
+// phase-marker experiment (§6.2.1) needs. Source line/column positions are
+// propagated onto every IR block as debug info for marker mapping.
+package compile
+
+import (
+	"fmt"
+
+	"phasemark/internal/lang"
+	"phasemark/internal/minivm"
+)
+
+// Options selects the compilation mode.
+type Options struct {
+	// Optimize enables the optimization pipeline (see opt.go). The
+	// unoptimized build corresponds to the paper's "-O0 Alpha binary"; the
+	// optimized one to its "full peak optimization" binary.
+	Optimize bool
+	// Inline additionally expands small leaf procedures at their call
+	// sites and deletes the ones with no remaining callers (see
+	// inline.go). Markers anchored on inlined-away call edges cannot be
+	// mapped to such a binary — the "compiled away" case of §6.2.1.
+	Inline bool
+	// Stack selects the stack-machine backend (see stackgen.go): a second
+	// "ISA" for the same source, with locals in memory frames and
+	// expressions evaluated through an in-memory operand stack. Used by
+	// the cross-ISA marker-mapping experiments.
+	Stack bool
+}
+
+// Compile lowers a parsed file into an executable program. The entry
+// procedure is the one named "main".
+func Compile(f *lang.File, opts Options) (*minivm.Program, error) {
+	if opts.Stack {
+		return compileStack(f, opts)
+	}
+	c := &compiler{
+		file:    f,
+		globals: map[string]globalSym{},
+		procIdx: map[string]int{},
+	}
+	if err := c.layoutGlobals(); err != nil {
+		return nil, err
+	}
+	prog := &minivm.Program{GlobalWords: c.globalWords}
+	entry := -1
+	for i, pd := range f.Procs {
+		if _, dup := c.procIdx[pd.Name]; dup {
+			return nil, errAt(pd.Pos, "duplicate procedure %q", pd.Name)
+		}
+		c.procIdx[pd.Name] = i
+		if pd.Name == "main" {
+			entry = i
+		}
+	}
+	if entry < 0 {
+		return nil, fmt.Errorf("compile: no main procedure")
+	}
+	prog.Entry = entry
+	for i, pd := range f.Procs {
+		pr, err := c.genProc(i, pd)
+		if err != nil {
+			return nil, err
+		}
+		prog.Procs = append(prog.Procs, pr)
+	}
+	prog.RenumberBlocks()
+	if opts.Optimize {
+		Optimize(prog)
+	}
+	if opts.Inline {
+		Inline(prog)
+		Optimize(prog) // clean up argument moves and folded bodies
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, fmt.Errorf("compile: internal error: %w", err)
+	}
+	return prog, nil
+}
+
+// CompileSource parses and compiles in one step.
+func CompileSource(src string, opts Options) (*minivm.Program, error) {
+	f, err := lang.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(f, opts)
+}
+
+func errAt(pos lang.Pos, format string, args ...any) error {
+	return &lang.Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+type globalSym struct {
+	addr  int64
+	size  int64
+	array bool
+}
+
+type compiler struct {
+	file        *lang.File
+	globals     map[string]globalSym
+	globalWords int
+	procIdx     map[string]int
+}
+
+func (c *compiler) layoutGlobals() error {
+	var addr int64
+	for _, g := range c.file.Globals {
+		if _, dup := c.globals[g.Name]; dup {
+			return errAt(g.Pos, "duplicate global %q", g.Name)
+		}
+		c.globals[g.Name] = globalSym{addr: addr, size: g.Size, array: g.Array}
+		addr += g.Size
+	}
+	const maxWords = 1 << 28 // 2 GiB of simulated memory
+	if addr > maxWords {
+		return fmt.Errorf("compile: globals need %d words, max %d", addr, maxWords)
+	}
+	c.globalWords = int(addr)
+	return nil
+}
+
+// label is a forward-patchable block reference.
+type label struct {
+	blk   int
+	bound bool
+}
+
+type fixup struct {
+	lbl  *label
+	slot *int
+}
+
+type loopCtx struct {
+	brk  *label
+	cont *label
+}
+
+type procGen struct {
+	c        *compiler
+	decl     *lang.ProcDecl
+	proc     *minivm.Proc
+	cur      *minivm.Block
+	scopes   []map[string]uint8
+	named    int // named registers allocated so far
+	namedCap int // total named registers (pre-pass count)
+	tempTop  int
+	tempMax  int
+	fixups   []fixup
+	loops    []loopCtx
+	pos      lang.Pos // current statement position for new blocks
+	err      error
+}
+
+func (c *compiler) genProc(idx int, pd *lang.ProcDecl) (*minivm.Proc, error) {
+	g := &procGen{
+		c:    c,
+		decl: pd,
+		proc: &minivm.Proc{Name: pd.Name, ID: idx, NumArgs: len(pd.Params), Line: pd.Pos.Line},
+		pos:  pd.Pos,
+	}
+	g.namedCap = len(pd.Params) + countVars(pd.Body)
+	if g.namedCap+8 > minivm.NumRegsMax {
+		return nil, errAt(pd.Pos, "procedure %q has too many variables (%d)", pd.Name, g.namedCap)
+	}
+	g.pushScope()
+	for _, p := range pd.Params {
+		if _, err := g.declare(p, pd.Pos); err != nil {
+			return nil, err
+		}
+	}
+	g.newBlock(pd.Pos)
+	g.genBlockStmt(pd.Body)
+	if g.err != nil {
+		return nil, g.err
+	}
+	// Implicit `return 0` falling off the end.
+	z := g.temp()
+	g.emit(minivm.Instr{Op: minivm.OpConst, A: z, Imm: 0})
+	g.cur.Term = minivm.Term{Kind: minivm.TermRet, Ret: z}
+	g.freeTemp()
+	g.cur = nil
+	for _, fx := range g.fixups {
+		if !fx.lbl.bound {
+			return nil, errAt(pd.Pos, "internal: unbound label in %q", pd.Name)
+		}
+		*fx.slot = fx.lbl.blk
+	}
+	g.proc.NumRegs = g.namedCap + g.tempMax
+	if g.proc.NumRegs == 0 {
+		g.proc.NumRegs = 1
+	}
+	return g.proc, nil
+}
+
+func countVars(s lang.Stmt) int {
+	n := 0
+	var walk func(lang.Stmt)
+	walk = func(s lang.Stmt) {
+		switch st := s.(type) {
+		case *lang.BlockStmt:
+			for _, x := range st.Stmts {
+				walk(x)
+			}
+		case *lang.VarStmt:
+			n++
+		case *lang.IfStmt:
+			walk(st.Then)
+			if st.Else != nil {
+				walk(st.Else)
+			}
+		case *lang.WhileStmt:
+			walk(st.Body)
+		case *lang.ForStmt:
+			if st.Init != nil {
+				walk(st.Init)
+			}
+			if st.Post != nil {
+				walk(st.Post)
+			}
+			walk(st.Body)
+		}
+	}
+	walk(s)
+	return n
+}
+
+func (g *procGen) fail(pos lang.Pos, format string, args ...any) {
+	if g.err == nil {
+		g.err = errAt(pos, format, args...)
+	}
+}
+
+func (g *procGen) pushScope() { g.scopes = append(g.scopes, map[string]uint8{}) }
+func (g *procGen) popScope()  { g.scopes = g.scopes[:len(g.scopes)-1] }
+
+func (g *procGen) declare(name string, pos lang.Pos) (uint8, error) {
+	top := g.scopes[len(g.scopes)-1]
+	if _, dup := top[name]; dup {
+		return 0, errAt(pos, "duplicate variable %q", name)
+	}
+	if g.named >= g.namedCap {
+		return 0, errAt(pos, "internal: register pre-pass undercounted in %q", g.decl.Name)
+	}
+	r := uint8(g.named)
+	g.named++
+	top[name] = r
+	return r, nil
+}
+
+// lookup resolves name to a local register; ok is false if it is not a
+// local (it may still be a global).
+func (g *procGen) lookup(name string) (uint8, bool) {
+	for i := len(g.scopes) - 1; i >= 0; i-- {
+		if r, ok := g.scopes[i][name]; ok {
+			return r, true
+		}
+	}
+	return 0, false
+}
+
+func (g *procGen) temp() uint8 {
+	r := g.namedCap + g.tempTop
+	g.tempTop++
+	if g.tempTop > g.tempMax {
+		g.tempMax = g.tempTop
+	}
+	if r >= minivm.NumRegsMax {
+		g.fail(g.pos, "expression too complex (out of registers)")
+		return minivm.NumRegsMax - 1
+	}
+	return uint8(r)
+}
+
+func (g *procGen) freeTemp()       { g.tempTop-- }
+func (g *procGen) freeTemps(n int) { g.tempTop -= n }
+
+func (g *procGen) emit(in minivm.Instr) {
+	g.cur.Instr = append(g.cur.Instr, in)
+}
+
+// newBlock appends a fresh current block (without terminating the previous
+// one — callers terminate explicitly).
+func (g *procGen) newBlock(pos lang.Pos) *minivm.Block {
+	b := &minivm.Block{
+		Index: len(g.proc.Blocks),
+		Proc:  g.proc,
+		Line:  pos.Line,
+		Col:   pos.Col,
+	}
+	g.proc.Blocks = append(g.proc.Blocks, b)
+	g.cur = b
+	return b
+}
+
+func (g *procGen) newLabel() *label { return &label{} }
+
+func (g *procGen) bind(l *label, pos lang.Pos) {
+	b := g.newBlock(pos)
+	l.blk = b.Index
+	l.bound = true
+}
+
+// jumpTo terminates the current block with a jump to l.
+func (g *procGen) jumpTo(l *label) {
+	g.cur.Term = minivm.Term{Kind: minivm.TermJump}
+	g.fixups = append(g.fixups, fixup{lbl: l, slot: &g.cur.Term.Target})
+}
+
+// branchTo terminates the current block with a conditional branch.
+func (g *procGen) branchTo(cond minivm.CondOp, a, b uint8, t, f *label) {
+	g.cur.Term = minivm.Term{Kind: minivm.TermBranch, Cond: cond, A: a, B: b}
+	g.fixups = append(g.fixups, fixup{lbl: t, slot: &g.cur.Term.Target})
+	g.fixups = append(g.fixups, fixup{lbl: f, slot: &g.cur.Term.Else})
+}

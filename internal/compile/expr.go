@@ -1,0 +1,215 @@
+package compile
+
+import (
+	"phasemark/internal/lang"
+	"phasemark/internal/minivm"
+)
+
+var arithOps = map[lang.Kind]minivm.Opcode{
+	lang.Plus:    minivm.OpAdd,
+	lang.Minus:   minivm.OpSub,
+	lang.Star:    minivm.OpMul,
+	lang.Slash:   minivm.OpDiv,
+	lang.Percent: minivm.OpMod,
+	lang.Amp:     minivm.OpAnd,
+	lang.Pipe:    minivm.OpOr,
+	lang.Caret:   minivm.OpXor,
+	lang.Shl:     minivm.OpShl,
+	lang.Shr:     minivm.OpShr,
+}
+
+var compareOps = map[lang.Kind]minivm.CondOp{
+	lang.EqEq:  minivm.CondEQ,
+	lang.NotEq: minivm.CondNE,
+	lang.Lt:    minivm.CondLT,
+	lang.Le:    minivm.CondLE,
+	lang.Gt:    minivm.CondGT,
+	lang.Ge:    minivm.CondGE,
+}
+
+func isBoolExpr(e lang.Expr) bool {
+	switch x := e.(type) {
+	case *lang.BinaryExpr:
+		if _, ok := compareOps[x.Op]; ok {
+			return true
+		}
+		return x.Op == lang.AndAnd || x.Op == lang.OrOr
+	case *lang.UnaryExpr:
+		return x.Op == lang.Bang
+	}
+	return false
+}
+
+// genExpr evaluates e into register dest.
+func (g *procGen) genExpr(e lang.Expr, dest uint8) {
+	if g.err != nil {
+		return
+	}
+	switch x := e.(type) {
+	case *lang.NumberExpr:
+		g.emit(minivm.Instr{Op: minivm.OpConst, A: dest, Imm: x.Val})
+	case *lang.IdentExpr:
+		if r, ok := g.lookup(x.Name); ok {
+			if r != dest {
+				g.emit(minivm.Instr{Op: minivm.OpMov, A: dest, B: r})
+			}
+			return
+		}
+		sym, ok := g.c.globals[x.Name]
+		if !ok {
+			g.fail(x.Pos, "undefined variable %q", x.Name)
+			return
+		}
+		if sym.array {
+			g.fail(x.Pos, "array %q used without index", x.Name)
+			return
+		}
+		t := g.temp()
+		g.emit(minivm.Instr{Op: minivm.OpConst, A: t, Imm: 0})
+		g.emit(minivm.Instr{Op: minivm.OpLoad, A: dest, B: t, Imm: sym.addr})
+		g.freeTemp()
+	case *lang.IndexExpr:
+		sym, ok := g.c.globals[x.Name]
+		if !ok || !sym.array {
+			g.fail(x.Pos, "%q is not a global array", x.Name)
+			return
+		}
+		t := g.temp()
+		g.genExpr(x.Index, t)
+		g.emit(minivm.Instr{Op: minivm.OpLoad, A: dest, B: t, Imm: sym.addr})
+		g.freeTemp()
+	case *lang.CallExpr:
+		g.genCall(x, dest)
+	case *lang.UnaryExpr:
+		switch x.Op {
+		case lang.Minus:
+			t := g.temp()
+			g.genExpr(x.X, t)
+			g.emit(minivm.Instr{Op: minivm.OpNeg, A: dest, B: t})
+			g.freeTemp()
+		case lang.Tilde:
+			t := g.temp()
+			g.genExpr(x.X, t)
+			g.emit(minivm.Instr{Op: minivm.OpNot, A: dest, B: t})
+			g.freeTemp()
+		case lang.Bang:
+			g.genBoolValue(e, dest)
+		default:
+			g.fail(x.Pos, "internal: bad unary op %s", x.Op)
+		}
+	case *lang.BinaryExpr:
+		if isBoolExpr(e) {
+			g.genBoolValue(e, dest)
+			return
+		}
+		op, ok := arithOps[x.Op]
+		if !ok {
+			g.fail(x.Pos, "internal: bad binary op %s", x.Op)
+			return
+		}
+		t1 := g.temp()
+		t2 := g.temp()
+		g.genExpr(x.L, t1)
+		g.genExpr(x.R, t2)
+		g.emit(minivm.Instr{Op: op, A: dest, B: t1, C: t2})
+		g.freeTemps(2)
+	default:
+		g.fail(e.ExprPos(), "internal: unknown expression %T", e)
+	}
+}
+
+func (g *procGen) genCall(x *lang.CallExpr, dest uint8) {
+	idx, ok := g.c.procIdx[x.Name]
+	if !ok {
+		g.fail(x.Pos, "undefined procedure %q", x.Name)
+		return
+	}
+	callee := g.c.file.Procs[idx]
+	if len(x.Args) != len(callee.Params) {
+		g.fail(x.Pos, "procedure %q wants %d args, got %d",
+			x.Name, len(callee.Params), len(x.Args))
+		return
+	}
+	args := make([]uint8, len(x.Args))
+	for i, a := range x.Args {
+		t := g.temp()
+		g.genExpr(a, t)
+		args[i] = t
+	}
+	// The call is a terminator: it ends the current block, and execution
+	// resumes in a fresh continuation block. The call site is thus a
+	// distinct markable instruction identified by the block it terminates.
+	callBlk := g.cur
+	callBlk.Term = minivm.Term{
+		Kind:   minivm.TermCall,
+		Callee: idx,
+		Args:   args,
+		Ret:    dest,
+		Line:   x.Pos.Line,
+		Col:    x.Pos.Col,
+	}
+	cont := g.newBlock(x.Pos)
+	callBlk.Term.Next = cont.Index
+	g.freeTemps(len(x.Args))
+}
+
+// genBoolValue materializes a boolean expression as 0/1 in dest using the
+// standard jumping-code pattern.
+func (g *procGen) genBoolValue(e lang.Expr, dest uint8) {
+	tl, fl, join := g.newLabel(), g.newLabel(), g.newLabel()
+	g.genCond(e, tl, fl)
+	pos := e.ExprPos()
+	g.bind(tl, pos)
+	g.emit(minivm.Instr{Op: minivm.OpConst, A: dest, Imm: 1})
+	g.jumpTo(join)
+	g.bind(fl, pos)
+	g.emit(minivm.Instr{Op: minivm.OpConst, A: dest, Imm: 0})
+	g.jumpTo(join)
+	g.bind(join, pos)
+}
+
+// genCond emits jumping code: evaluate e and transfer to tl if truthy,
+// fl otherwise. Short-circuits && and ||.
+func (g *procGen) genCond(e lang.Expr, tl, fl *label) {
+	if g.err != nil {
+		return
+	}
+	switch x := e.(type) {
+	case *lang.BinaryExpr:
+		if cond, ok := compareOps[x.Op]; ok {
+			t1 := g.temp()
+			t2 := g.temp()
+			g.genExpr(x.L, t1)
+			g.genExpr(x.R, t2)
+			g.branchTo(cond, t1, t2, tl, fl)
+			g.freeTemps(2)
+			return
+		}
+		switch x.Op {
+		case lang.AndAnd:
+			mid := g.newLabel()
+			g.genCond(x.L, mid, fl)
+			g.bind(mid, x.R.ExprPos())
+			g.genCond(x.R, tl, fl)
+			return
+		case lang.OrOr:
+			mid := g.newLabel()
+			g.genCond(x.L, tl, mid)
+			g.bind(mid, x.R.ExprPos())
+			g.genCond(x.R, tl, fl)
+			return
+		}
+	case *lang.UnaryExpr:
+		if x.Op == lang.Bang {
+			g.genCond(x.X, fl, tl)
+			return
+		}
+	}
+	// Generic: compare value against zero.
+	t := g.temp()
+	z := g.temp()
+	g.genExpr(e, t)
+	g.emit(minivm.Instr{Op: minivm.OpConst, A: z, Imm: 0})
+	g.branchTo(minivm.CondNE, t, z, tl, fl)
+	g.freeTemps(2)
+}

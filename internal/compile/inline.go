@@ -1,0 +1,204 @@
+package compile
+
+import "phasemark/internal/minivm"
+
+// Inlining: small leaf procedures are expanded at their call sites and, if
+// no call sites remain, removed from the program entirely. This is the
+// optimization the paper's cross-binary discussion worries about —
+// "picking phase markers that are not compiled away": a marker anchored on
+// an inlined-away call edge has no equivalent location in the inlined
+// binary and must be reported unmappable (see internal/crossbin).
+
+// inlineMaxInstrs bounds the size of procedures considered for inlining.
+const inlineMaxInstrs = 24
+
+// Inline expands eligible call sites in place. A callee is eligible when
+// it is a leaf (makes no calls), is small, and its register file fits
+// beside the caller's. Block order is preserved around the insertion point
+// so backwards branches remain backwards and loop structure survives.
+func Inline(p *minivm.Program) {
+	for _, pr := range p.Procs {
+		inlineInto(p, pr)
+	}
+	removeDeadProcs(p)
+	p.RenumberBlocks()
+}
+
+func inlinable(p *minivm.Program, callee *minivm.Proc) bool {
+	total := 0
+	for _, b := range callee.Blocks {
+		if b.Term.Kind == minivm.TermCall || b.Term.Kind == minivm.TermHalt {
+			return false
+		}
+		total += b.Weight()
+	}
+	return total <= inlineMaxInstrs
+}
+
+func inlineInto(p *minivm.Program, caller *minivm.Proc) {
+	for changed := true; changed; {
+		changed = false
+		for bi, b := range caller.Blocks {
+			if b.Term.Kind != minivm.TermCall {
+				continue
+			}
+			callee := p.Procs[b.Term.Callee]
+			if callee == caller || !inlinable(p, callee) {
+				continue
+			}
+			if caller.NumRegs+callee.NumRegs > minivm.NumRegsMax {
+				continue
+			}
+			expand(caller, bi, callee)
+			changed = true
+			break // block indices shifted; rescan
+		}
+	}
+}
+
+// expand replaces the call terminator of caller.Blocks[ci] with the
+// callee's body, inserted immediately after the call block.
+func expand(caller *minivm.Proc, ci int, callee *minivm.Proc) {
+	base := caller.NumRegs // callee regs remapped to base+r
+	caller.NumRegs += callee.NumRegs
+	call := caller.Blocks[ci].Term
+	n := len(callee.Blocks)
+	contOld := call.Next // continuation index before insertion
+
+	// Indices: blocks after ci shift by n; callee block j lands at
+	// ci+1+j. The continuation's new index:
+	shift := func(idx int) int {
+		if idx > ci {
+			return idx + n
+		}
+		return idx
+	}
+	cont := shift(contOld)
+
+	// Copy callee blocks with remapped registers and rewired terminators.
+	inlined := make([]*minivm.Block, n)
+	for j, src := range callee.Blocks {
+		nb := &minivm.Block{
+			Proc:  caller,
+			Line:  src.Line,
+			Col:   src.Col,
+			Instr: make([]minivm.Instr, len(src.Instr)),
+		}
+		for k, in := range src.Instr {
+			in.A += uint8(base)
+			switch in.Op {
+			case minivm.OpConst, minivm.OpNop, minivm.OpOut:
+				// A only (Out reads A; Const writes A).
+			case minivm.OpStore:
+				in.B += uint8(base)
+			default:
+				in.B += uint8(base)
+				if in.Op != minivm.OpMov && in.Op != minivm.OpNeg &&
+					in.Op != minivm.OpNot && in.Op != minivm.OpAddI &&
+					in.Op != minivm.OpMulI && in.Op != minivm.OpLoad {
+					in.C += uint8(base)
+				}
+			}
+			nb.Instr[k] = in
+		}
+		t := src.Term
+		switch t.Kind {
+		case minivm.TermJump:
+			t.Target += ci + 1
+		case minivm.TermBranch:
+			t.A += uint8(base)
+			t.B += uint8(base)
+			t.Target += ci + 1
+			t.Else += ci + 1
+		case minivm.TermRet:
+			// Return: move the value into the call's destination register
+			// and fall through to the continuation.
+			nb.Instr = append(nb.Instr, minivm.Instr{
+				Op: minivm.OpMov, A: call.Ret, B: t.Ret + uint8(base),
+			})
+			t = minivm.Term{Kind: minivm.TermJump, Target: cont}
+		}
+		nb.Term = t
+		inlined[j] = nb
+	}
+
+	// The call block now copies arguments and jumps into the body.
+	cb := caller.Blocks[ci]
+	for i, a := range call.Args {
+		cb.Instr = append(cb.Instr, minivm.Instr{
+			Op: minivm.OpMov, A: uint8(base + i), B: a,
+		})
+	}
+	cb.Term = minivm.Term{Kind: minivm.TermJump, Target: ci + 1}
+
+	// Splice and fix all other terminators' indices.
+	blocks := make([]*minivm.Block, 0, len(caller.Blocks)+n)
+	blocks = append(blocks, caller.Blocks[:ci+1]...)
+	blocks = append(blocks, inlined...)
+	blocks = append(blocks, caller.Blocks[ci+1:]...)
+	for idx, b := range blocks {
+		b.Index = idx
+		if idx > ci && idx <= ci+n {
+			continue // freshly wired
+		}
+		if b == cb {
+			continue
+		}
+		switch b.Term.Kind {
+		case minivm.TermJump:
+			b.Term.Target = shift(b.Term.Target)
+		case minivm.TermBranch:
+			b.Term.Target = shift(b.Term.Target)
+			b.Term.Else = shift(b.Term.Else)
+		case minivm.TermCall:
+			b.Term.Next = shift(b.Term.Next)
+		}
+	}
+	caller.Blocks = blocks
+}
+
+// removeDeadProcs drops procedures that are no longer called (and are not
+// the entry), remapping callee indices.
+func removeDeadProcs(p *minivm.Program) {
+	used := make([]bool, len(p.Procs))
+	used[p.Entry] = true
+	// Reachability over the call graph from the entry.
+	work := []int{p.Entry}
+	for len(work) > 0 {
+		pi := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, b := range p.Procs[pi].Blocks {
+			if b.Term.Kind == minivm.TermCall && !used[b.Term.Callee] {
+				used[b.Term.Callee] = true
+				work = append(work, b.Term.Callee)
+			}
+		}
+	}
+	all := true
+	for _, u := range used {
+		all = all && u
+	}
+	if all {
+		return
+	}
+	remap := make([]int, len(p.Procs))
+	var kept []*minivm.Proc
+	for i, pr := range p.Procs {
+		if used[i] {
+			remap[i] = len(kept)
+			pr.ID = len(kept)
+			kept = append(kept, pr)
+		} else {
+			remap[i] = -1
+		}
+	}
+	for _, pr := range kept {
+		for _, b := range pr.Blocks {
+			if b.Term.Kind == minivm.TermCall {
+				b.Term.Callee = remap[b.Term.Callee]
+			}
+		}
+	}
+	p.Entry = remap[p.Entry]
+	p.Procs = kept
+}

@@ -1,0 +1,152 @@
+package compile
+
+import (
+	"testing"
+
+	"phasemark/internal/minivm"
+	"phasemark/internal/stats"
+)
+
+const inlineSrc = `
+array a[64];
+proc tiny(x) { return x * 3 + 1; }
+proc tiny2(x) { return a[x & 63] + x; }
+proc big(n) {
+	var s = 0;
+	for (var i = 0; i < n; i = i + 1) {
+		s = s + a[i & 63] * i + (s >> 2) - i;
+		a[(i + 1) & 63] = s & 1023;
+		s = s ^ (a[(i + 2) & 63] + (s << 1));
+		a[(i + 3) & 63] = (s >> 3) + i * 5;
+		s = s + a[(i + 4) & 63] - (i & 15);
+	}
+	return s;
+}
+proc main(n) {
+	var s = 0;
+	for (var i = 0; i < n; i = i + 1) {
+		s = s + tiny(i) + tiny2(i);
+	}
+	s = s + big(n);
+	out(s);
+	return s;
+}
+`
+
+func TestInlineRemovesLeafCalls(t *testing.T) {
+	p, err := CompileSource(inlineSrc, Options{Optimize: true, Inline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// tiny and tiny2 must be gone; big survives (too large to inline).
+	if p.Proc("tiny") != nil || p.Proc("tiny2") != nil {
+		t.Error("small leaf procedures not removed")
+	}
+	if p.Proc("big") == nil || p.Proc("main") == nil {
+		t.Error("big/main must survive")
+	}
+	// No calls to removed procs remain; call graph indices valid.
+	for _, pr := range p.Procs {
+		for _, b := range pr.Blocks {
+			if b.Term.Kind == minivm.TermCall {
+				if b.Term.Callee < 0 || b.Term.Callee >= len(p.Procs) {
+					t.Fatalf("dangling callee index %d", b.Term.Callee)
+				}
+			}
+		}
+	}
+}
+
+func TestInlinePreservesBehavior(t *testing.T) {
+	for _, args := range []int64{0, 1, 17, 200} {
+		p0, err := CompileSource(inlineSrc, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p1, err := CompileSource(inlineSrc, Options{Optimize: true, Inline: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m0 := minivm.NewMachine(p0, nil)
+		rv0, err := m0.Run(args)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m1 := minivm.NewMachine(p1, nil)
+		rv1, err := m1.Run(args)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rv0 != rv1 {
+			t.Fatalf("args %d: %d vs %d", args, rv0, rv1)
+		}
+		o0, o1 := m0.Output(), m1.Output()
+		if len(o0) != len(o1) || o0[0] != o1[0] {
+			t.Fatalf("args %d: outputs %v vs %v", args, o0, o1)
+		}
+		if m1.Instructions() >= m0.Instructions() {
+			t.Errorf("args %d: inlining did not reduce instructions (%d -> %d)",
+				args, m0.Instructions(), m1.Instructions())
+		}
+	}
+}
+
+func TestInlinePreservesLoopStructure(t *testing.T) {
+	p, err := CompileSource(inlineSrc, Options{Optimize: true, Inline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loops := minivm.FindLoops(p)
+	// main's loop and big's loop survive.
+	if len(loops.All) != 2 {
+		t.Fatalf("loops = %d, want 2", len(loops.All))
+	}
+	for _, l := range loops.All {
+		if l.End < l.Head.Index {
+			t.Fatalf("inverted region: %v", l)
+		}
+	}
+}
+
+func TestInlineEquivalenceFuzz(t *testing.T) {
+	trials := 150
+	if testing.Short() {
+		trials = 30
+	}
+	for seed := 0; seed < trials; seed++ {
+		g := &progGen{r: stats.NewRNG(uint64(seed)*7919 + 3)}
+		src := g.generate()
+		p0, err := CompileSource(src, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		p1, err := CompileSource(src, Options{Optimize: true, Inline: true})
+		if err != nil {
+			t.Fatalf("seed %d: %v\nsource:\n%s", seed, err, src)
+		}
+		m0 := minivm.NewMachine(p0, nil)
+		m0.MaxInstrs = 5_000_000
+		rv0, err0 := m0.Run(9)
+		m1 := minivm.NewMachine(p1, nil)
+		m1.MaxInstrs = 5_000_000
+		rv1, err1 := m1.Run(9)
+		if (err0 == nil) != (err1 == nil) {
+			t.Fatalf("seed %d: error mismatch %v vs %v\nsource:\n%s", seed, err0, err1, src)
+		}
+		if err0 != nil {
+			continue
+		}
+		if rv0 != rv1 {
+			t.Fatalf("seed %d: %d vs %d\nsource:\n%s", seed, rv0, rv1, src)
+		}
+		o0, o1 := m0.Output(), m1.Output()
+		if len(o0) != len(o1) {
+			t.Fatalf("seed %d: output lengths differ\nsource:\n%s", seed, src)
+		}
+		for i := range o0 {
+			if o0[i] != o1[i] {
+				t.Fatalf("seed %d: out[%d] differs\nsource:\n%s", seed, i, src)
+			}
+		}
+	}
+}

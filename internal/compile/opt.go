@@ -1,0 +1,248 @@
+package compile
+
+import "phasemark/internal/minivm"
+
+// Optimize runs the optimization pipeline in place: local constant folding
+// and copy propagation, liveness-based dead-code elimination, jump
+// threading, unreachable-block removal, and straight-line block merging.
+// The pipeline iterates to a fixpoint (bounded), then renumbers blocks.
+//
+// Observable behavior (out() stream, return value) is preserved; block
+// structure, block count, and instruction counts change — producing the
+// "different compilation of the same source" the cross-binary experiment
+// requires.
+func Optimize(p *minivm.Program) {
+	for _, pr := range p.Procs {
+		for iter := 0; iter < 4; iter++ {
+			changed := false
+			for _, b := range pr.Blocks {
+				changed = constFold(b) || changed
+				changed = copyProp(b) || changed
+			}
+			changed = deadCode(pr) || changed
+			changed = jumpThread(pr) || changed
+			changed = removeUnreachable(pr) || changed
+			changed = mergeBlocks(pr) || changed
+			if !changed {
+				break
+			}
+		}
+	}
+	p.RenumberBlocks()
+}
+
+// constFold does forward constant propagation within one block, folding
+// arithmetic over known registers, strength-reducing to immediate forms,
+// and deciding constant branches.
+func constFold(b *minivm.Block) bool {
+	known := map[uint8]int64{}
+	changed := false
+	set := func(r uint8, v int64) { known[r] = v }
+	kill := func(r uint8) { delete(known, r) }
+	for i := range b.Instr {
+		in := &b.Instr[i]
+		switch in.Op {
+		case minivm.OpConst:
+			set(in.A, in.Imm)
+		case minivm.OpMov:
+			if v, ok := known[in.B]; ok {
+				*in = minivm.Instr{Op: minivm.OpConst, A: in.A, Imm: v}
+				set(in.A, v)
+				changed = true
+			} else {
+				kill(in.A)
+			}
+		case minivm.OpNeg, minivm.OpNot:
+			if v, ok := known[in.B]; ok {
+				r := -v
+				if in.Op == minivm.OpNot {
+					r = ^v
+				}
+				*in = minivm.Instr{Op: minivm.OpConst, A: in.A, Imm: r}
+				set(in.A, r)
+				changed = true
+			} else {
+				kill(in.A)
+			}
+		case minivm.OpAddI:
+			if v, ok := known[in.B]; ok {
+				r := v + in.Imm // compute before overwriting *in (in.Imm aliases)
+				*in = minivm.Instr{Op: minivm.OpConst, A: in.A, Imm: r}
+				set(in.A, r)
+				changed = true
+			} else if in.Imm == 0 {
+				*in = minivm.Instr{Op: minivm.OpMov, A: in.A, B: in.B}
+				kill(in.A)
+				changed = true
+			} else {
+				kill(in.A)
+			}
+		case minivm.OpMulI:
+			if v, ok := known[in.B]; ok {
+				r := v * in.Imm // compute before overwriting *in (in.Imm aliases)
+				*in = minivm.Instr{Op: minivm.OpConst, A: in.A, Imm: r}
+				set(in.A, r)
+				changed = true
+			} else if in.Imm == 1 {
+				*in = minivm.Instr{Op: minivm.OpMov, A: in.A, B: in.B}
+				kill(in.A)
+				changed = true
+			} else {
+				kill(in.A)
+			}
+		case minivm.OpAdd, minivm.OpSub, minivm.OpMul, minivm.OpAnd,
+			minivm.OpOr, minivm.OpXor, minivm.OpShl, minivm.OpShr:
+			bv, bok := known[in.B]
+			cv, cok := known[in.C]
+			switch {
+			case bok && cok:
+				r := foldArith(in.Op, bv, cv)
+				*in = minivm.Instr{Op: minivm.OpConst, A: in.A, Imm: r}
+				set(in.A, r)
+				changed = true
+			case cok && in.Op == minivm.OpAdd:
+				*in = minivm.Instr{Op: minivm.OpAddI, A: in.A, B: in.B, Imm: cv}
+				kill(in.A)
+				changed = true
+			case cok && in.Op == minivm.OpMul:
+				*in = minivm.Instr{Op: minivm.OpMulI, A: in.A, B: in.B, Imm: cv}
+				kill(in.A)
+				changed = true
+			case cok && in.Op == minivm.OpSub:
+				*in = minivm.Instr{Op: minivm.OpAddI, A: in.A, B: in.B, Imm: -cv}
+				kill(in.A)
+				changed = true
+			case bok && in.Op == minivm.OpAdd:
+				*in = minivm.Instr{Op: minivm.OpAddI, A: in.A, B: in.C, Imm: bv}
+				kill(in.A)
+				changed = true
+			case bok && in.Op == minivm.OpMul:
+				*in = minivm.Instr{Op: minivm.OpMulI, A: in.A, B: in.C, Imm: bv}
+				kill(in.A)
+				changed = true
+			default:
+				kill(in.A)
+			}
+		case minivm.OpDiv, minivm.OpMod:
+			// Fold only when the divisor is a known nonzero constant, so a
+			// would-be trap is preserved.
+			bv, bok := known[in.B]
+			cv, cok := known[in.C]
+			if bok && cok && cv != 0 {
+				var r int64
+				if in.Op == minivm.OpDiv {
+					r = bv / cv
+				} else {
+					r = bv % cv
+				}
+				*in = minivm.Instr{Op: minivm.OpConst, A: in.A, Imm: r}
+				set(in.A, r)
+				changed = true
+			} else {
+				kill(in.A)
+			}
+		case minivm.OpLoad:
+			kill(in.A)
+		case minivm.OpStore, minivm.OpOut, minivm.OpNop, minivm.OpMark:
+		}
+	}
+	if b.Term.Kind == minivm.TermBranch {
+		av, aok := known[b.Term.A]
+		bv, bok := known[b.Term.B]
+		if aok && bok {
+			tgt := b.Term.Else
+			if b.Term.Cond.Eval(av, bv) {
+				tgt = b.Term.Target
+			}
+			b.Term = minivm.Term{Kind: minivm.TermJump, Target: tgt}
+			changed = true
+		}
+	}
+	return changed
+}
+
+func foldArith(op minivm.Opcode, b, c int64) int64 {
+	switch op {
+	case minivm.OpAdd:
+		return b + c
+	case minivm.OpSub:
+		return b - c
+	case minivm.OpMul:
+		return b * c
+	case minivm.OpAnd:
+		return b & c
+	case minivm.OpOr:
+		return b | c
+	case minivm.OpXor:
+		return b ^ c
+	case minivm.OpShl:
+		return b << (uint64(c) & 63)
+	default: // OpShr
+		return int64(uint64(b) >> (uint64(c) & 63))
+	}
+}
+
+// copyProp replaces uses of registers that are local copies of other
+// registers within a block.
+func copyProp(b *minivm.Block) bool {
+	alias := map[uint8]uint8{}
+	changed := false
+	resolve := func(r uint8) uint8 {
+		if a, ok := alias[r]; ok {
+			return a
+		}
+		return r
+	}
+	sub := func(r *uint8) {
+		if a := resolve(*r); a != *r {
+			*r = a
+			changed = true
+		}
+	}
+	killDest := func(d uint8) {
+		delete(alias, d)
+		for k, v := range alias {
+			if v == d {
+				delete(alias, k)
+			}
+		}
+	}
+	for i := range b.Instr {
+		in := &b.Instr[i]
+		switch in.Op {
+		case minivm.OpConst:
+			killDest(in.A)
+		case minivm.OpMov:
+			sub(&in.B)
+			killDest(in.A)
+			if in.A != in.B {
+				alias[in.A] = in.B
+			}
+		case minivm.OpNeg, minivm.OpNot, minivm.OpAddI, minivm.OpMulI, minivm.OpLoad:
+			sub(&in.B)
+			killDest(in.A)
+		case minivm.OpStore:
+			sub(&in.A)
+			sub(&in.B)
+		case minivm.OpOut:
+			sub(&in.A)
+		case minivm.OpNop:
+		default:
+			sub(&in.B)
+			sub(&in.C)
+			killDest(in.A)
+		}
+	}
+	switch b.Term.Kind {
+	case minivm.TermBranch:
+		sub(&b.Term.A)
+		sub(&b.Term.B)
+	case minivm.TermRet:
+		sub(&b.Term.Ret)
+	case minivm.TermCall:
+		for i := range b.Term.Args {
+			sub(&b.Term.Args[i])
+		}
+	}
+	return changed
+}

@@ -1,0 +1,305 @@
+package compile
+
+import "phasemark/internal/minivm"
+
+// successors returns the block indices control may transfer to from b.
+func successors(b *minivm.Block) []int {
+	switch b.Term.Kind {
+	case minivm.TermJump:
+		return []int{b.Term.Target}
+	case minivm.TermBranch:
+		if b.Term.Target == b.Term.Else {
+			return []int{b.Term.Target}
+		}
+		return []int{b.Term.Target, b.Term.Else}
+	case minivm.TermCall:
+		return []int{b.Term.Next}
+	default:
+		return nil
+	}
+}
+
+// instrUseDef reports the registers an instruction reads and (optionally)
+// the register it writes.
+func instrUseDef(in minivm.Instr) (uses []uint8, def int, sideEffect bool) {
+	switch in.Op {
+	case minivm.OpNop:
+		return nil, -1, false
+	case minivm.OpConst:
+		return nil, int(in.A), false
+	case minivm.OpMov, minivm.OpNeg, minivm.OpNot, minivm.OpAddI, minivm.OpMulI:
+		return []uint8{in.B}, int(in.A), false
+	case minivm.OpLoad:
+		// A load is removable when dead: it cannot change program output
+		// (only the memory-reference stream, as with real dead-load
+		// elimination).
+		return []uint8{in.B}, int(in.A), false
+	case minivm.OpMark:
+		return nil, -1, true
+	case minivm.OpStore:
+		return []uint8{in.A, in.B}, -1, true
+	case minivm.OpOut:
+		return []uint8{in.A}, -1, true
+	case minivm.OpDiv, minivm.OpMod:
+		// May trap; keep even if the result is dead.
+		return []uint8{in.B, in.C}, int(in.A), true
+	default:
+		return []uint8{in.B, in.C}, int(in.A), false
+	}
+}
+
+// deadCode removes instructions whose results are never used, using a
+// whole-procedure backward liveness analysis.
+func deadCode(pr *minivm.Proc) bool {
+	n := len(pr.Blocks)
+	liveIn := make([]map[uint8]bool, n)
+	liveOut := make([]map[uint8]bool, n)
+	for i := range liveIn {
+		liveIn[i] = map[uint8]bool{}
+		liveOut[i] = map[uint8]bool{}
+	}
+	termUses := func(b *minivm.Block) []uint8 {
+		switch b.Term.Kind {
+		case minivm.TermBranch:
+			return []uint8{b.Term.A, b.Term.B}
+		case minivm.TermRet:
+			return []uint8{b.Term.Ret}
+		case minivm.TermCall:
+			return b.Term.Args
+		default:
+			return nil
+		}
+	}
+	// Iterate to fixpoint.
+	for {
+		changed := false
+		for i := n - 1; i >= 0; i-- {
+			b := pr.Blocks[i]
+			out := map[uint8]bool{}
+			for _, s := range successors(b) {
+				for r := range liveIn[s] {
+					out[r] = true
+				}
+			}
+			// A call defines Ret in this block's frame upon return; the
+			// continuation block's liveIn flows through out. Kill Ret.
+			if b.Term.Kind == minivm.TermCall {
+				delete(out, b.Term.Ret)
+			}
+			in := map[uint8]bool{}
+			for r := range out {
+				in[r] = true
+			}
+			for _, r := range termUses(b) {
+				in[r] = true
+			}
+			for k := len(b.Instr) - 1; k >= 0; k-- {
+				uses, def, _ := instrUseDef(b.Instr[k])
+				if def >= 0 {
+					delete(in, uint8(def))
+				}
+				for _, r := range uses {
+					in[r] = true
+				}
+			}
+			if !sameSet(out, liveOut[i]) || !sameSet(in, liveIn[i]) {
+				liveOut[i], liveIn[i] = out, in
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	// Remove dead instructions per block.
+	removed := false
+	for i, b := range pr.Blocks {
+		live := map[uint8]bool{}
+		for r := range liveOut[i] {
+			live[r] = true
+		}
+		if b.Term.Kind == minivm.TermCall {
+			delete(live, b.Term.Ret)
+		}
+		for _, r := range termUses(b) {
+			live[r] = true
+		}
+		keep := make([]bool, len(b.Instr))
+		for k := len(b.Instr) - 1; k >= 0; k-- {
+			uses, def, side := instrUseDef(b.Instr[k])
+			dead := b.Instr[k].Op == minivm.OpNop ||
+				(!side && def >= 0 && !live[uint8(def)]) ||
+				(b.Instr[k].Op == minivm.OpMov && b.Instr[k].A == b.Instr[k].B)
+			keep[k] = !dead
+			if dead {
+				continue
+			}
+			if def >= 0 {
+				delete(live, uint8(def))
+			}
+			for _, r := range uses {
+				live[r] = true
+			}
+		}
+		var out []minivm.Instr
+		for k, in := range b.Instr {
+			if keep[k] {
+				out = append(out, in)
+			}
+		}
+		if len(out) != len(b.Instr) {
+			b.Instr = out
+			removed = true
+		}
+	}
+	return removed
+}
+
+func sameSet(a, b map[uint8]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// jumpThread retargets control transfers that land on empty jump-only
+// blocks directly to their final destinations.
+func jumpThread(pr *minivm.Proc) bool {
+	final := func(idx int) int {
+		seen := map[int]bool{}
+		for {
+			b := pr.Blocks[idx]
+			if len(b.Instr) != 0 || b.Term.Kind != minivm.TermJump || seen[idx] {
+				return idx
+			}
+			seen[idx] = true
+			idx = b.Term.Target
+		}
+	}
+	changed := false
+	retarget := func(slot *int) {
+		if f := final(*slot); f != *slot {
+			*slot = f
+			changed = true
+		}
+	}
+	for _, b := range pr.Blocks {
+		switch b.Term.Kind {
+		case minivm.TermJump:
+			retarget(&b.Term.Target)
+		case minivm.TermBranch:
+			retarget(&b.Term.Target)
+			retarget(&b.Term.Else)
+		case minivm.TermCall:
+			retarget(&b.Term.Next)
+		}
+	}
+	return changed
+}
+
+// removeUnreachable drops blocks not reachable from the procedure entry
+// and compacts indices, preserving relative order (so backwards branches
+// stay backwards).
+func removeUnreachable(pr *minivm.Proc) bool {
+	n := len(pr.Blocks)
+	mark := make([]bool, n)
+	stack := []int{0}
+	mark[0] = true
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range successors(pr.Blocks[i]) {
+			if !mark[s] {
+				mark[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	all := true
+	for _, m := range mark {
+		all = all && m
+	}
+	if all {
+		return false
+	}
+	remap := make([]int, n)
+	var kept []*minivm.Block
+	for i, b := range pr.Blocks {
+		if mark[i] {
+			remap[i] = len(kept)
+			kept = append(kept, b)
+		} else {
+			remap[i] = -1
+		}
+	}
+	for _, b := range kept {
+		switch b.Term.Kind {
+		case minivm.TermJump:
+			b.Term.Target = remap[b.Term.Target]
+		case minivm.TermBranch:
+			b.Term.Target = remap[b.Term.Target]
+			b.Term.Else = remap[b.Term.Else]
+		case minivm.TermCall:
+			b.Term.Next = remap[b.Term.Next]
+		}
+	}
+	for i, b := range kept {
+		b.Index = i
+	}
+	pr.Blocks = kept
+	return true
+}
+
+// mergeBlocks folds a block into its unique jump predecessor when safe:
+// the successor must have exactly one predecessor, and the merge must not
+// turn a backwards branch into a forwards one (which would destroy the
+// loop structure the whole analysis is built on).
+func mergeBlocks(pr *minivm.Proc) bool {
+	changed := false
+	for {
+		preds := make([][]int, len(pr.Blocks))
+		for i, b := range pr.Blocks {
+			for _, s := range successors(b) {
+				preds[s] = append(preds[s], i)
+			}
+		}
+		merged := false
+		for i, b := range pr.Blocks {
+			if b.Term.Kind != minivm.TermJump {
+				continue
+			}
+			t := b.Term.Target
+			if t == i || t == 0 || len(preds[t]) != 1 {
+				continue
+			}
+			succ := pr.Blocks[t]
+			// Keep back edges backwards: any back-edge target of succ must
+			// still be <= the merged block's index.
+			ok := true
+			for _, s := range successors(succ) {
+				if s <= succ.Index && s > i {
+					ok = false
+				}
+			}
+			if !ok {
+				continue
+			}
+			b.Instr = append(b.Instr, succ.Instr...)
+			b.Term = succ.Term
+			succ.Instr = nil
+			succ.Term = minivm.Term{Kind: minivm.TermJump, Target: t} // self-loop shape; becomes unreachable
+			merged = true
+			changed = true
+			break
+		}
+		if !merged {
+			return changed
+		}
+		removeUnreachable(pr)
+	}
+}

@@ -1,0 +1,197 @@
+package compile
+
+import (
+	"testing"
+
+	"phasemark/internal/minivm"
+)
+
+// mkProc builds a single-proc program from blocks for pass-level tests.
+func mkProc(t *testing.T, numRegs int, blocks ...*minivm.Block) *minivm.Program {
+	t.Helper()
+	pr := &minivm.Proc{Name: "main", NumArgs: 0, NumRegs: numRegs, Blocks: blocks}
+	p := &minivm.Program{Procs: []*minivm.Proc{pr}}
+	p.RenumberBlocks()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("fixture invalid: %v", err)
+	}
+	return p
+}
+
+func TestConstFoldArithmetic(t *testing.T) {
+	b := &minivm.Block{Instr: []minivm.Instr{
+		{Op: minivm.OpConst, A: 0, Imm: 6},
+		{Op: minivm.OpConst, A: 1, Imm: 7},
+		{Op: minivm.OpMul, A: 2, B: 0, C: 1},    // -> const 42
+		{Op: minivm.OpAddI, A: 3, B: 2, Imm: 8}, // -> const 50
+		{Op: minivm.OpNeg, A: 4, B: 3},          // -> const -50
+	}, Term: minivm.Term{Kind: minivm.TermRet, Ret: 4}}
+	mkProc(t, 5, b)
+	constFold(b)
+	wantImms := []int64{6, 7, 42, 50, -50}
+	for i, in := range b.Instr {
+		if in.Op != minivm.OpConst || in.Imm != wantImms[i] {
+			t.Fatalf("instr %d = %v, want const %d", i, in, wantImms[i])
+		}
+	}
+}
+
+// The regression the inlining fuzz caught: folding AddI/MulI must not
+// read the immediate after overwriting the instruction.
+func TestConstFoldImmediateAliasRegression(t *testing.T) {
+	b := &minivm.Block{Instr: []minivm.Instr{
+		{Op: minivm.OpConst, A: 0, Imm: 10},
+		{Op: minivm.OpMulI, A: 1, B: 0, Imm: -12}, // -> const -120
+		{Op: minivm.OpNeg, A: 2, B: 1},            // must see -120, fold to 120
+	}, Term: minivm.Term{Kind: minivm.TermRet, Ret: 2}}
+	mkProc(t, 3, b)
+	constFold(b)
+	if got := b.Instr[2]; got.Op != minivm.OpConst || got.Imm != 120 {
+		t.Fatalf("neg folded to %v, want const 120", got)
+	}
+	b2 := &minivm.Block{Instr: []minivm.Instr{
+		{Op: minivm.OpConst, A: 0, Imm: 10},
+		{Op: minivm.OpAddI, A: 1, B: 0, Imm: 5}, // -> const 15
+		{Op: minivm.OpNeg, A: 2, B: 1},
+	}, Term: minivm.Term{Kind: minivm.TermRet, Ret: 2}}
+	mkProc(t, 3, b2)
+	constFold(b2)
+	if got := b2.Instr[2]; got.Op != minivm.OpConst || got.Imm != -15 {
+		t.Fatalf("addi chain folded to %v, want const -15", got)
+	}
+}
+
+func TestConstFoldPreservesTrappingDivision(t *testing.T) {
+	b := &minivm.Block{Instr: []minivm.Instr{
+		{Op: minivm.OpConst, A: 0, Imm: 10},
+		{Op: minivm.OpConst, A: 1, Imm: 0},
+		{Op: minivm.OpDiv, A: 2, B: 0, C: 1}, // divide by zero: keep!
+	}, Term: minivm.Term{Kind: minivm.TermRet, Ret: 2}}
+	mkProc(t, 3, b)
+	constFold(b)
+	if b.Instr[2].Op != minivm.OpDiv {
+		t.Fatalf("trapping division folded away: %v", b.Instr[2])
+	}
+}
+
+func TestConstFoldDecidesBranches(t *testing.T) {
+	b0 := &minivm.Block{Instr: []minivm.Instr{
+		{Op: minivm.OpConst, A: 0, Imm: 3},
+		{Op: minivm.OpConst, A: 1, Imm: 5},
+	}, Term: minivm.Term{Kind: minivm.TermBranch, Cond: minivm.CondLT, A: 0, B: 1, Target: 1, Else: 2}}
+	b1 := &minivm.Block{Instr: []minivm.Instr{{Op: minivm.OpConst, A: 2, Imm: 1}},
+		Term: minivm.Term{Kind: minivm.TermRet, Ret: 2}}
+	b2 := &minivm.Block{Instr: []minivm.Instr{{Op: minivm.OpConst, A: 2, Imm: 0}},
+		Term: minivm.Term{Kind: minivm.TermRet, Ret: 2}}
+	mkProc(t, 3, b0, b1, b2)
+	constFold(b0)
+	if b0.Term.Kind != minivm.TermJump || b0.Term.Target != 1 {
+		t.Fatalf("constant branch not decided: %+v", b0.Term)
+	}
+}
+
+func TestCopyPropRewritesUses(t *testing.T) {
+	b := &minivm.Block{Instr: []minivm.Instr{
+		{Op: minivm.OpMov, A: 1, B: 0},
+		{Op: minivm.OpAdd, A: 2, B: 1, C: 1}, // uses of r1 -> r0
+		{Op: minivm.OpConst, A: 0, Imm: 9},   // r0 redefined: alias must die
+		{Op: minivm.OpAdd, A: 3, B: 1, C: 0}, // r1 must NOT be rewritten now
+	}, Term: minivm.Term{Kind: minivm.TermRet, Ret: 3}}
+	mkProc(t, 4, b)
+	copyProp(b)
+	if b.Instr[1].B != 0 || b.Instr[1].C != 0 {
+		t.Fatalf("copy not propagated: %v", b.Instr[1])
+	}
+	if b.Instr[3].B != 1 {
+		t.Fatalf("stale alias used after redefinition: %v", b.Instr[3])
+	}
+}
+
+func TestDeadCodeRemovesUnusedButKeepsEffects(t *testing.T) {
+	b := &minivm.Block{Instr: []minivm.Instr{
+		{Op: minivm.OpConst, A: 0, Imm: 1}, // dead (overwritten, unused)
+		{Op: minivm.OpConst, A: 0, Imm: 2},
+		{Op: minivm.OpConst, A: 1, Imm: 3}, // feeds the store
+		{Op: minivm.OpConst, A: 2, Imm: 0},
+		{Op: minivm.OpStore, A: 1, B: 2}, // side effect: keep
+		{Op: minivm.OpLoad, A: 3, B: 2},  // dead load: removable
+		{Op: minivm.OpNop},               // removable
+	}, Term: minivm.Term{Kind: minivm.TermRet, Ret: 0}}
+	p := mkProc(t, 4, b)
+	p.GlobalWords = 8
+	deadCode(p.Procs[0])
+	ops := make([]minivm.Opcode, len(b.Instr))
+	for i, in := range b.Instr {
+		ops[i] = in.Op
+	}
+	want := []minivm.Opcode{minivm.OpConst, minivm.OpConst, minivm.OpConst, minivm.OpStore}
+	if len(ops) != len(want) {
+		t.Fatalf("ops after DCE: %v", ops)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Fatalf("ops after DCE: %v, want %v", ops, want)
+		}
+	}
+}
+
+func TestJumpThreadAndUnreachable(t *testing.T) {
+	b0 := &minivm.Block{Term: minivm.Term{Kind: minivm.TermJump, Target: 1}}
+	b1 := &minivm.Block{Term: minivm.Term{Kind: minivm.TermJump, Target: 2}} // empty trampoline
+	b2 := &minivm.Block{Instr: []minivm.Instr{{Op: minivm.OpConst, A: 0, Imm: 7}},
+		Term: minivm.Term{Kind: minivm.TermRet, Ret: 0}}
+	p := mkProc(t, 1, b0, b1, b2)
+	pr := p.Procs[0]
+	if !jumpThread(pr) {
+		t.Fatal("jumpThread found nothing")
+	}
+	if b0.Term.Target != 2 {
+		t.Fatalf("b0 not threaded: %+v", b0.Term)
+	}
+	if !removeUnreachable(pr) {
+		t.Fatal("trampoline not removed")
+	}
+	if len(pr.Blocks) != 2 {
+		t.Fatalf("blocks = %d, want 2", len(pr.Blocks))
+	}
+	p.RenumberBlocks()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("invalid after cleanup: %v", err)
+	}
+	rv, err := minivm.NewMachine(p, nil).Run()
+	if err != nil || rv != 7 {
+		t.Fatalf("behavior changed: rv=%d err=%v", rv, err)
+	}
+}
+
+func TestMergeBlocksRespectsBackEdges(t *testing.T) {
+	// b0 -> b1 (header) <- b2 latch; b1 branches to b2 or b3.
+	// b2 has a single pred (b1) but merging it into b1 would be fine;
+	// merging b1 into b0 must NOT happen if it breaks the back edge...
+	// construct the simple mergeable case instead: b2->b3 chain.
+	b0 := &minivm.Block{Instr: []minivm.Instr{
+		{Op: minivm.OpConst, A: 0, Imm: 3},
+	}, Term: minivm.Term{Kind: minivm.TermJump, Target: 1}}
+	b1 := &minivm.Block{Instr: []minivm.Instr{
+		{Op: minivm.OpAddI, A: 0, B: 0, Imm: -1},
+	}, Term: minivm.Term{Kind: minivm.TermBranch, Cond: minivm.CondGT, A: 0, B: 1, Target: 1, Else: 2}}
+	b2 := &minivm.Block{Instr: []minivm.Instr{
+		{Op: minivm.OpConst, A: 1, Imm: 0},
+	}, Term: minivm.Term{Kind: minivm.TermRet, Ret: 0}}
+	p := mkProc(t, 2, b0, b1, b2)
+	pr := p.Procs[0]
+	mergeBlocks(pr)
+	p.RenumberBlocks()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("invalid after merge: %v", err)
+	}
+	// The loop must survive: b1 still targets itself (a back edge).
+	loops := minivm.FindLoops(p)
+	if len(loops.All) != 1 {
+		t.Fatalf("loop destroyed by merging: %d loops", len(loops.All))
+	}
+	rv, err := minivm.NewMachine(p, nil).Run()
+	if err != nil || rv != 0 {
+		t.Fatalf("behavior changed: rv=%d err=%v", rv, err)
+	}
+}

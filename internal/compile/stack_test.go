@@ -1,0 +1,129 @@
+package compile
+
+import (
+	"testing"
+
+	"phasemark/internal/minivm"
+	"phasemark/internal/stats"
+)
+
+func runOn(t *testing.T, src string, opts Options, args ...int64) (int64, []int64, uint64) {
+	t.Helper()
+	p, err := CompileSource(src, opts)
+	if err != nil {
+		t.Fatalf("compile %+v: %v", opts, err)
+	}
+	m := minivm.NewMachine(p, nil)
+	rv, err := m.Run(args...)
+	if err != nil {
+		t.Fatalf("run %+v: %v", opts, err)
+	}
+	return rv, m.Output(), m.Instructions()
+}
+
+func TestStackBackendBasics(t *testing.T) {
+	src := `
+array a[64];
+proc addUp(n, k) {
+	var s = 0;
+	for (var i = 0; i < n; i = i + 1) {
+		a[i & 63] = i * k;
+		s = s + a[i & 63];
+	}
+	return s;
+}
+proc main(n) {
+	var total = addUp(n, 3) + addUp(n / 2, 5);
+	out(total);
+	return total;
+}
+`
+	rvReg, outReg, insReg := runOn(t, src, Options{}, 50)
+	rvStk, outStk, insStk := runOn(t, src, Options{Stack: true}, 50)
+	if rvReg != rvStk || outReg[0] != outStk[0] {
+		t.Fatalf("backends disagree: %d/%v vs %d/%v", rvReg, outReg, rvStk, outStk)
+	}
+	// The stack ISA executes substantially more (memory-heavy) instructions.
+	if insStk <= insReg {
+		t.Fatalf("stack backend not memory-heavier: %d vs %d", insStk, insReg)
+	}
+}
+
+func TestStackBackendRecursion(t *testing.T) {
+	src := `
+proc fib(n) {
+	if (n < 2) { return n; }
+	return fib(n - 1) + fib(n - 2);
+}
+proc main(k) { return fib(k); }
+`
+	rv, _, _ := runOn(t, src, Options{Stack: true}, 15)
+	if rv != 610 {
+		t.Fatalf("stack fib(15) = %d", rv)
+	}
+}
+
+func TestStackBackendDeepRecursionFaults(t *testing.T) {
+	src := `
+proc down(n) {
+	if (n <= 0) { return 0; }
+	return down(n - 1) + 1;
+}
+proc main(k) { return down(k); }
+`
+	p, err := CompileSource(src, Options{Stack: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := minivm.NewMachine(p, nil)
+	if _, err := m.Run(1_000_000); err == nil {
+		t.Fatal("expected a stack-region fault on unbounded recursion")
+	}
+}
+
+// The decisive property: both backends (and their optimized forms) are
+// observably equivalent on random programs.
+func TestStackBackendEquivalenceFuzz(t *testing.T) {
+	trials := 150
+	if testing.Short() {
+		trials = 30
+	}
+	for seed := 0; seed < trials; seed++ {
+		g := &progGen{r: stats.NewRNG(uint64(seed)*31337 + 5)}
+		src := g.generate()
+		ref, err := CompileSource(src, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, opts := range []Options{{Stack: true}, {Stack: true, Optimize: true}} {
+			p, err := CompileSource(src, opts)
+			if err != nil {
+				t.Fatalf("seed %d %+v: %v\nsource:\n%s", seed, opts, err, src)
+			}
+			m0 := minivm.NewMachine(ref, nil)
+			m0.MaxInstrs = 5_000_000
+			rv0, err0 := m0.Run(9)
+			m1 := minivm.NewMachine(p, nil)
+			m1.MaxInstrs = 20_000_000
+			rv1, err1 := m1.Run(9)
+			if (err0 == nil) != (err1 == nil) {
+				t.Fatalf("seed %d %+v: error mismatch %v vs %v\nsource:\n%s", seed, opts, err0, err1, src)
+			}
+			if err0 != nil {
+				continue
+			}
+			if rv0 != rv1 {
+				t.Fatalf("seed %d %+v: rv %d vs %d\nsource:\n%s", seed, opts, rv0, rv1, src)
+			}
+			o0, o1 := m0.Output(), m1.Output()
+			if len(o0) != len(o1) {
+				t.Fatalf("seed %d %+v: output lengths differ\nsource:\n%s", seed, opts, src)
+			}
+			for i := range o0 {
+				if o0[i] != o1[i] {
+					t.Fatalf("seed %d %+v: out[%d] %d vs %d\nsource:\n%s", seed, opts, i, o0[i], o1[i], src)
+				}
+			}
+		}
+	}
+}

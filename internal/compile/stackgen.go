@@ -1,0 +1,266 @@
+package compile
+
+import (
+	"fmt"
+
+	"phasemark/internal/lang"
+	"phasemark/internal/minivm"
+)
+
+// The stack backend: a second "instruction set architecture" for the same
+// source language. Where the register backend keeps locals in registers
+// and evaluates expressions in a register tree, the stack backend keeps
+// every local in a memory frame and evaluates expressions through an
+// in-memory operand stack — the dynamic instruction mix, block weights,
+// and data traffic all change the way they would across a RISC→CISC port.
+//
+// This is what makes the paper's §6.2.1 cross-ISA claim testable here:
+// markers selected on the register binary map through source positions to
+// the stack binary (loops and call sites exist in both, at the same
+// lines) and must produce identical firing traces on the same input.
+//
+// Conventions:
+//   - memory layout: user globals at [0, G), then a stack region of
+//     StackWords words;
+//   - every non-entry procedure takes its user arguments in registers
+//     followed by one extra argument: FP, the base of its memory frame;
+//   - frame layout: locals at FP+0.., then the operand stack;
+//   - the entry procedure materializes FP = G (bottom of the stack
+//     region) itself, keeping main's external signature unchanged.
+
+// StackWords is the size of the stack-backend's frame region. Deep
+// recursion beyond it faults, which is exactly a stack overflow.
+const StackWords = 1 << 16
+
+type stackGen struct {
+	c    *compiler
+	decl *lang.ProcDecl
+	proc *minivm.Proc
+
+	// Register plan: user args in r0..rn-1, FP next, then fixed scratch.
+	fp    uint8
+	rA    uint8 // primary scratch (pop destination / results)
+	rB    uint8 // secondary scratch
+	rAddr uint8 // address scratch
+
+	scopes   []map[string]int // local name -> frame slot
+	slots    int              // frame slots allocated to locals
+	maxSlots int
+	depth    int // operand-stack depth
+	maxDepth int
+
+	fixups     []fixup
+	frameFix   []struct{ blk, idx int } // instrs whose Imm = frame size
+	loops      []loopCtx
+	pos        lang.Pos
+	cur        *minivm.Block
+	isEntry    bool
+	stackBase  int64
+	frameWords int
+	err        error
+}
+
+// compileStack lowers the file with the stack backend.
+func compileStack(f *lang.File, opts Options) (*minivm.Program, error) {
+	c := &compiler{
+		file:    f,
+		globals: map[string]globalSym{},
+		procIdx: map[string]int{},
+	}
+	if err := c.layoutGlobals(); err != nil {
+		return nil, err
+	}
+	prog := &minivm.Program{GlobalWords: c.globalWords + StackWords}
+	entry := -1
+	for i, pd := range f.Procs {
+		if _, dup := c.procIdx[pd.Name]; dup {
+			return nil, errAt(pd.Pos, "duplicate procedure %q", pd.Name)
+		}
+		c.procIdx[pd.Name] = i
+		if pd.Name == "main" {
+			entry = i
+		}
+	}
+	if entry < 0 {
+		return nil, fmt.Errorf("compile: no main procedure")
+	}
+	prog.Entry = entry
+	for i, pd := range f.Procs {
+		pr, err := c.genStackProc(i, pd, i == entry, int64(c.globalWords))
+		if err != nil {
+			return nil, err
+		}
+		prog.Procs = append(prog.Procs, pr)
+	}
+	prog.RenumberBlocks()
+	if opts.Optimize {
+		Optimize(prog)
+	}
+	if opts.Inline {
+		Inline(prog)
+		Optimize(prog)
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, fmt.Errorf("compile: stack backend internal error: %w", err)
+	}
+	return prog, nil
+}
+
+func (c *compiler) genStackProc(idx int, pd *lang.ProcDecl, isEntry bool, stackBase int64) (*minivm.Proc, error) {
+	nargs := len(pd.Params)
+	g := &stackGen{
+		c:    c,
+		decl: pd,
+		proc: &minivm.Proc{Name: pd.Name, ID: idx, Line: pd.Pos.Line},
+		pos:  pd.Pos,
+
+		isEntry:   isEntry,
+		stackBase: stackBase,
+	}
+	if isEntry {
+		// main keeps its external signature; FP is materialized locally.
+		g.proc.NumArgs = nargs
+		g.fp = uint8(nargs)
+	} else {
+		// Every other procedure receives only FP; its user arguments are
+		// already in its frame slots, written there by the caller.
+		g.proc.NumArgs = 1
+		g.fp = 0
+	}
+	g.rA = g.fp + 1
+	g.rB = g.fp + 2
+	g.rAddr = g.fp + 3
+	g.proc.NumRegs = int(g.rAddr) + 1
+	if g.proc.NumRegs > minivm.NumRegsMax {
+		return nil, errAt(pd.Pos, "procedure %q has too many parameters for the stack backend", pd.Name)
+	}
+
+	g.pushScope()
+	g.newBlock(pd.Pos)
+	if isEntry {
+		g.emit(minivm.Instr{Op: minivm.OpConst, A: g.fp, Imm: stackBase})
+		for i, p := range pd.Params {
+			slot := g.declare(p)
+			g.emit(minivm.Instr{Op: minivm.OpStore, A: uint8(i), B: g.fp, Imm: int64(slot)})
+		}
+	} else {
+		// Claim the parameter slots the caller populated.
+		for _, p := range pd.Params {
+			g.declare(p)
+		}
+	}
+	_ = nargs
+	g.genBlockStmt(pd.Body)
+	if g.err != nil {
+		return nil, g.err
+	}
+	// Implicit return 0.
+	g.emit(minivm.Instr{Op: minivm.OpConst, A: g.rA, Imm: 0})
+	g.cur.Term = minivm.Term{Kind: minivm.TermRet, Ret: g.rA}
+	for _, fx := range g.fixups {
+		if !fx.lbl.bound {
+			return nil, errAt(pd.Pos, "internal: unbound label in %q", pd.Name)
+		}
+		*fx.slot = fx.lbl.blk
+	}
+	// Patch frame-size immediates now that the frame extent is known.
+	if g.maxSlots > slotBase {
+		return nil, errAt(pd.Pos, "procedure %q has too many locals for the stack backend", pd.Name)
+	}
+	g.frameWords = slotBase + g.maxDepth
+	for _, ff := range g.frameFix {
+		g.proc.Blocks[ff.blk].Instr[ff.idx].Imm = int64(g.frameWords)
+	}
+	return g.proc, nil
+}
+
+func (g *stackGen) fail(pos lang.Pos, format string, args ...any) {
+	if g.err == nil {
+		g.err = errAt(pos, format, args...)
+	}
+}
+
+func (g *stackGen) pushScope() { g.scopes = append(g.scopes, map[string]int{}) }
+func (g *stackGen) popScope() {
+	top := g.scopes[len(g.scopes)-1]
+	g.slots -= len(top)
+	g.scopes = g.scopes[:len(g.scopes)-1]
+}
+
+func (g *stackGen) declare(name string) int {
+	top := g.scopes[len(g.scopes)-1]
+	if _, dup := top[name]; dup {
+		g.fail(g.pos, "duplicate variable %q", name)
+		return 0
+	}
+	slot := g.slots
+	g.slots++
+	if g.slots > g.maxSlots {
+		g.maxSlots = g.slots
+	}
+	top[name] = slot
+	return slot
+}
+
+func (g *stackGen) lookup(name string) (int, bool) {
+	for i := len(g.scopes) - 1; i >= 0; i-- {
+		if s, ok := g.scopes[i][name]; ok {
+			return s, true
+		}
+	}
+	return 0, false
+}
+
+func (g *stackGen) emit(in minivm.Instr) { g.cur.Instr = append(g.cur.Instr, in) }
+
+func (g *stackGen) newBlock(pos lang.Pos) *minivm.Block {
+	b := &minivm.Block{
+		Index: len(g.proc.Blocks),
+		Proc:  g.proc,
+		Line:  pos.Line,
+		Col:   pos.Col,
+	}
+	g.proc.Blocks = append(g.proc.Blocks, b)
+	g.cur = b
+	return b
+}
+
+func (g *stackGen) newLabel() *label { return &label{} }
+
+func (g *stackGen) bind(l *label, pos lang.Pos) {
+	b := g.newBlock(pos)
+	l.blk = b.Index
+	l.bound = true
+}
+
+func (g *stackGen) jumpTo(l *label) {
+	g.cur.Term = minivm.Term{Kind: minivm.TermJump}
+	g.fixups = append(g.fixups, fixup{lbl: l, slot: &g.cur.Term.Target})
+}
+
+func (g *stackGen) branchTo(cond minivm.CondOp, a, b uint8, t, f *label) {
+	g.cur.Term = minivm.Term{Kind: minivm.TermBranch, Cond: cond, A: a, B: b}
+	g.fixups = append(g.fixups, fixup{lbl: t, slot: &g.cur.Term.Target})
+	g.fixups = append(g.fixups, fixup{lbl: f, slot: &g.cur.Term.Else})
+}
+
+// Operand-stack primitives. The stack occupies frame words
+// [maxSlots, maxSlots+depth); since maxSlots grows during generation,
+// stack offsets are made relative to a generous fixed base: locals never
+// exceed maxSlots, so the operand stack starts at slotBase = 64 (checked).
+const slotBase = 64
+
+// pushFrom stores register r onto the operand stack.
+func (g *stackGen) pushFrom(r uint8) {
+	g.emit(minivm.Instr{Op: minivm.OpStore, A: r, B: g.fp, Imm: int64(slotBase + g.depth)})
+	g.depth++
+	if g.depth > g.maxDepth {
+		g.maxDepth = g.depth
+	}
+}
+
+// popTo loads the operand-stack top into register r.
+func (g *stackGen) popTo(r uint8) {
+	g.depth--
+	g.emit(minivm.Instr{Op: minivm.OpLoad, A: r, B: g.fp, Imm: int64(slotBase + g.depth)})
+}

@@ -1,0 +1,341 @@
+package compile
+
+import (
+	"phasemark/internal/lang"
+	"phasemark/internal/minivm"
+)
+
+func (g *stackGen) genBlockStmt(b *lang.BlockStmt) {
+	g.pushScope()
+	for _, s := range b.Stmts {
+		if g.err != nil {
+			break
+		}
+		g.genStmt(s)
+	}
+	g.popScope()
+}
+
+func (g *stackGen) genStmt(s lang.Stmt) {
+	g.pos = s.StmtPos()
+	switch st := s.(type) {
+	case *lang.BlockStmt:
+		g.genBlockStmt(st)
+	case *lang.VarStmt:
+		slot := g.declare(st.Name)
+		if st.Init != nil {
+			g.genExpr(st.Init)
+			g.popTo(g.rA)
+		} else {
+			g.emit(minivm.Instr{Op: minivm.OpConst, A: g.rA, Imm: 0})
+		}
+		g.emit(minivm.Instr{Op: minivm.OpStore, A: g.rA, B: g.fp, Imm: int64(slot)})
+	case *lang.AssignStmt:
+		g.genAssign(st)
+	case *lang.IfStmt:
+		g.genIf(st)
+	case *lang.WhileStmt:
+		g.genWhile(st)
+	case *lang.ForStmt:
+		g.genFor(st)
+	case *lang.ReturnStmt:
+		if st.Value != nil {
+			g.genExpr(st.Value)
+			g.popTo(g.rA)
+		} else {
+			g.emit(minivm.Instr{Op: minivm.OpConst, A: g.rA, Imm: 0})
+		}
+		g.cur.Term = minivm.Term{Kind: minivm.TermRet, Ret: g.rA}
+		g.newBlock(st.Pos)
+	case *lang.BreakStmt:
+		if len(g.loops) == 0 {
+			g.fail(st.Pos, "break outside loop")
+			return
+		}
+		g.jumpTo(g.loops[len(g.loops)-1].brk)
+		g.newBlock(st.Pos)
+	case *lang.ContinueStmt:
+		if len(g.loops) == 0 {
+			g.fail(st.Pos, "continue outside loop")
+			return
+		}
+		g.jumpTo(g.loops[len(g.loops)-1].cont)
+		g.newBlock(st.Pos)
+	case *lang.ExprStmt:
+		g.genExpr(st.X)
+		g.popTo(g.rA) // discard
+	case *lang.OutStmt:
+		g.genExpr(st.X)
+		g.popTo(g.rA)
+		g.emit(minivm.Instr{Op: minivm.OpOut, A: g.rA})
+	default:
+		g.fail(s.StmtPos(), "internal: unknown statement %T", s)
+	}
+}
+
+func (g *stackGen) genAssign(st *lang.AssignStmt) {
+	if st.Index == nil {
+		if slot, ok := g.lookup(st.Name); ok {
+			g.genExpr(st.Value)
+			g.popTo(g.rA)
+			g.emit(minivm.Instr{Op: minivm.OpStore, A: g.rA, B: g.fp, Imm: int64(slot)})
+			return
+		}
+		sym, ok := g.c.globals[st.Name]
+		if !ok {
+			g.fail(st.Pos, "undefined variable %q", st.Name)
+			return
+		}
+		if sym.array {
+			g.fail(st.Pos, "array %q assigned without index", st.Name)
+			return
+		}
+		g.genExpr(st.Value)
+		g.popTo(g.rA)
+		g.emit(minivm.Instr{Op: minivm.OpConst, A: g.rB, Imm: 0})
+		g.emit(minivm.Instr{Op: minivm.OpStore, A: g.rA, B: g.rB, Imm: sym.addr})
+		return
+	}
+	sym, ok := g.c.globals[st.Name]
+	if !ok || !sym.array {
+		g.fail(st.Pos, "%q is not a global array", st.Name)
+		return
+	}
+	g.genExpr(st.Value)
+	g.genExpr(st.Index)
+	g.popTo(g.rB) // index
+	g.popTo(g.rA) // value
+	g.emit(minivm.Instr{Op: minivm.OpStore, A: g.rA, B: g.rB, Imm: sym.addr})
+}
+
+func (g *stackGen) genIf(st *lang.IfStmt) {
+	tl, fl, join := g.newLabel(), g.newLabel(), g.newLabel()
+	g.genCond(st.Cond, tl, fl)
+	g.bind(tl, st.Then.Pos)
+	g.genBlockStmt(st.Then)
+	g.jumpTo(join)
+	if st.Else != nil {
+		g.bind(fl, st.Else.StmtPos())
+		g.genStmt(st.Else)
+		g.jumpTo(join)
+		g.bind(join, st.Pos)
+	} else {
+		g.bind(join, st.Pos)
+		fl.blk, fl.bound = join.blk, true
+	}
+}
+
+func (g *stackGen) genWhile(st *lang.WhileStmt) {
+	header, body, exit := g.newLabel(), g.newLabel(), g.newLabel()
+	g.jumpTo(header)
+	g.bind(header, st.Pos)
+	g.genCond(st.Cond, body, exit)
+	g.bind(body, st.Body.Pos)
+	g.loops = append(g.loops, loopCtx{brk: exit, cont: header})
+	g.genBlockStmt(st.Body)
+	g.loops = g.loops[:len(g.loops)-1]
+	g.jumpTo(header)
+	g.bind(exit, st.Pos)
+}
+
+func (g *stackGen) genFor(st *lang.ForStmt) {
+	g.pushScope()
+	if st.Init != nil {
+		g.genStmt(st.Init)
+	}
+	header, body, post, exit := g.newLabel(), g.newLabel(), g.newLabel(), g.newLabel()
+	g.jumpTo(header)
+	g.bind(header, st.Pos)
+	if st.Cond != nil {
+		g.genCond(st.Cond, body, exit)
+	} else {
+		g.jumpTo(body)
+	}
+	g.bind(body, st.Body.Pos)
+	g.loops = append(g.loops, loopCtx{brk: exit, cont: post})
+	g.genBlockStmt(st.Body)
+	g.loops = g.loops[:len(g.loops)-1]
+	g.jumpTo(post)
+	g.bind(post, st.Pos)
+	if st.Post != nil {
+		g.genStmt(st.Post)
+	}
+	g.jumpTo(header)
+	g.bind(exit, st.Pos)
+	g.popScope()
+}
+
+// genExpr evaluates e, leaving exactly one value on the operand stack.
+func (g *stackGen) genExpr(e lang.Expr) {
+	if g.err != nil {
+		return
+	}
+	switch x := e.(type) {
+	case *lang.NumberExpr:
+		g.emit(minivm.Instr{Op: minivm.OpConst, A: g.rA, Imm: x.Val})
+		g.pushFrom(g.rA)
+	case *lang.IdentExpr:
+		if slot, ok := g.lookup(x.Name); ok {
+			g.emit(minivm.Instr{Op: minivm.OpLoad, A: g.rA, B: g.fp, Imm: int64(slot)})
+			g.pushFrom(g.rA)
+			return
+		}
+		sym, ok := g.c.globals[x.Name]
+		if !ok {
+			g.fail(x.Pos, "undefined variable %q", x.Name)
+			return
+		}
+		if sym.array {
+			g.fail(x.Pos, "array %q used without index", x.Name)
+			return
+		}
+		g.emit(minivm.Instr{Op: minivm.OpConst, A: g.rB, Imm: 0})
+		g.emit(minivm.Instr{Op: minivm.OpLoad, A: g.rA, B: g.rB, Imm: sym.addr})
+		g.pushFrom(g.rA)
+	case *lang.IndexExpr:
+		sym, ok := g.c.globals[x.Name]
+		if !ok || !sym.array {
+			g.fail(x.Pos, "%q is not a global array", x.Name)
+			return
+		}
+		g.genExpr(x.Index)
+		g.popTo(g.rB)
+		g.emit(minivm.Instr{Op: minivm.OpLoad, A: g.rA, B: g.rB, Imm: sym.addr})
+		g.pushFrom(g.rA)
+	case *lang.CallExpr:
+		g.genCall(x)
+	case *lang.UnaryExpr:
+		switch x.Op {
+		case lang.Minus, lang.Tilde:
+			op := minivm.OpNeg
+			if x.Op == lang.Tilde {
+				op = minivm.OpNot
+			}
+			g.genExpr(x.X)
+			g.popTo(g.rA)
+			g.emit(minivm.Instr{Op: op, A: g.rA, B: g.rA})
+			g.pushFrom(g.rA)
+		case lang.Bang:
+			g.genBoolValue(e)
+		default:
+			g.fail(x.Pos, "internal: bad unary op %s", x.Op)
+		}
+	case *lang.BinaryExpr:
+		if isBoolExpr(e) {
+			g.genBoolValue(e)
+			return
+		}
+		op, ok := arithOps[x.Op]
+		if !ok {
+			g.fail(x.Pos, "internal: bad binary op %s", x.Op)
+			return
+		}
+		g.genExpr(x.L)
+		g.genExpr(x.R)
+		g.popTo(g.rB)
+		g.popTo(g.rA)
+		g.emit(minivm.Instr{Op: op, A: g.rA, B: g.rA, C: g.rB})
+		g.pushFrom(g.rA)
+	default:
+		g.fail(e.ExprPos(), "internal: unknown expression %T", e)
+	}
+}
+
+func (g *stackGen) genCall(x *lang.CallExpr) {
+	idx, ok := g.c.procIdx[x.Name]
+	if !ok {
+		g.fail(x.Pos, "undefined procedure %q", x.Name)
+		return
+	}
+	callee := g.c.file.Procs[idx]
+	if callee.Name == "main" {
+		g.fail(x.Pos, "the stack backend does not support calling main")
+		return
+	}
+	if len(x.Args) != len(callee.Params) {
+		g.fail(x.Pos, "procedure %q wants %d args, got %d",
+			x.Name, len(callee.Params), len(x.Args))
+		return
+	}
+	// Evaluate arguments onto our operand stack, then compute the callee
+	// frame pointer and spill them into the callee's parameter slots.
+	for _, a := range x.Args {
+		g.genExpr(a)
+	}
+	g.emit(minivm.Instr{Op: minivm.OpAddI, A: g.rAddr, B: g.fp, Imm: 0 /* frame size */})
+	g.frameFix = append(g.frameFix, struct{ blk, idx int }{g.cur.Index, len(g.cur.Instr) - 1})
+	for i := len(x.Args) - 1; i >= 0; i-- {
+		g.popTo(g.rA)
+		g.emit(minivm.Instr{Op: minivm.OpStore, A: g.rA, B: g.rAddr, Imm: int64(i)})
+	}
+	callBlk := g.cur
+	callBlk.Term = minivm.Term{
+		Kind:   minivm.TermCall,
+		Callee: idx,
+		Args:   []uint8{g.rAddr},
+		Ret:    g.rA,
+		Line:   x.Pos.Line,
+		Col:    x.Pos.Col,
+	}
+	cont := g.newBlock(x.Pos)
+	callBlk.Term.Next = cont.Index
+	g.pushFrom(g.rA)
+}
+
+func (g *stackGen) genBoolValue(e lang.Expr) {
+	tl, fl, join := g.newLabel(), g.newLabel(), g.newLabel()
+	g.genCond(e, tl, fl)
+	pos := e.ExprPos()
+	// Both arms push one value; track depth once.
+	depth := g.depth
+	g.bind(tl, pos)
+	g.emit(minivm.Instr{Op: minivm.OpConst, A: g.rA, Imm: 1})
+	g.pushFrom(g.rA)
+	g.jumpTo(join)
+	g.depth = depth
+	g.bind(fl, pos)
+	g.emit(minivm.Instr{Op: minivm.OpConst, A: g.rA, Imm: 0})
+	g.pushFrom(g.rA)
+	g.jumpTo(join)
+	g.bind(join, pos)
+}
+
+func (g *stackGen) genCond(e lang.Expr, tl, fl *label) {
+	if g.err != nil {
+		return
+	}
+	switch x := e.(type) {
+	case *lang.BinaryExpr:
+		if cond, ok := compareOps[x.Op]; ok {
+			g.genExpr(x.L)
+			g.genExpr(x.R)
+			g.popTo(g.rB)
+			g.popTo(g.rA)
+			g.branchTo(cond, g.rA, g.rB, tl, fl)
+			return
+		}
+		switch x.Op {
+		case lang.AndAnd:
+			mid := g.newLabel()
+			g.genCond(x.L, mid, fl)
+			g.bind(mid, x.R.ExprPos())
+			g.genCond(x.R, tl, fl)
+			return
+		case lang.OrOr:
+			mid := g.newLabel()
+			g.genCond(x.L, tl, mid)
+			g.bind(mid, x.R.ExprPos())
+			g.genCond(x.R, tl, fl)
+			return
+		}
+	case *lang.UnaryExpr:
+		if x.Op == lang.Bang {
+			g.genCond(x.X, fl, tl)
+			return
+		}
+	}
+	g.genExpr(e)
+	g.popTo(g.rA)
+	g.emit(minivm.Instr{Op: minivm.OpConst, A: g.rB, Imm: 0})
+	g.branchTo(minivm.CondNE, g.rA, g.rB, tl, fl)
+}

@@ -1,0 +1,173 @@
+package compile
+
+import (
+	"phasemark/internal/lang"
+	"phasemark/internal/minivm"
+)
+
+func (g *procGen) genBlockStmt(b *lang.BlockStmt) {
+	g.pushScope()
+	for _, s := range b.Stmts {
+		if g.err != nil {
+			break
+		}
+		g.genStmt(s)
+	}
+	g.popScope()
+}
+
+func (g *procGen) genStmt(s lang.Stmt) {
+	g.pos = s.StmtPos()
+	switch st := s.(type) {
+	case *lang.BlockStmt:
+		g.genBlockStmt(st)
+	case *lang.VarStmt:
+		r, err := g.declare(st.Name, st.Pos)
+		if err != nil {
+			g.err = err
+			return
+		}
+		if st.Init != nil {
+			g.genExpr(st.Init, r)
+		} else {
+			g.emit(minivm.Instr{Op: minivm.OpConst, A: r, Imm: 0})
+		}
+	case *lang.AssignStmt:
+		g.genAssign(st)
+	case *lang.IfStmt:
+		g.genIf(st)
+	case *lang.WhileStmt:
+		g.genWhile(st)
+	case *lang.ForStmt:
+		g.genFor(st)
+	case *lang.ReturnStmt:
+		r := g.temp()
+		if st.Value != nil {
+			g.genExpr(st.Value, r)
+		} else {
+			g.emit(minivm.Instr{Op: minivm.OpConst, A: r, Imm: 0})
+		}
+		g.cur.Term = minivm.Term{Kind: minivm.TermRet, Ret: r}
+		g.freeTemp()
+		g.newBlock(st.Pos) // unreachable continuation
+	case *lang.BreakStmt:
+		if len(g.loops) == 0 {
+			g.fail(st.Pos, "break outside loop")
+			return
+		}
+		g.jumpTo(g.loops[len(g.loops)-1].brk)
+		g.newBlock(st.Pos)
+	case *lang.ContinueStmt:
+		if len(g.loops) == 0 {
+			g.fail(st.Pos, "continue outside loop")
+			return
+		}
+		g.jumpTo(g.loops[len(g.loops)-1].cont)
+		g.newBlock(st.Pos)
+	case *lang.ExprStmt:
+		r := g.temp()
+		g.genExpr(st.X, r)
+		g.freeTemp()
+	case *lang.OutStmt:
+		r := g.temp()
+		g.genExpr(st.X, r)
+		g.emit(minivm.Instr{Op: minivm.OpOut, A: r})
+		g.freeTemp()
+	default:
+		g.fail(s.StmtPos(), "internal: unknown statement %T", s)
+	}
+}
+
+func (g *procGen) genAssign(st *lang.AssignStmt) {
+	if st.Index == nil {
+		if r, ok := g.lookup(st.Name); ok {
+			g.genExpr(st.Value, r)
+			return
+		}
+		sym, ok := g.c.globals[st.Name]
+		if !ok {
+			g.fail(st.Pos, "undefined variable %q", st.Name)
+			return
+		}
+		if sym.array {
+			g.fail(st.Pos, "array %q assigned without index", st.Name)
+			return
+		}
+		v := g.temp()
+		addr := g.temp()
+		g.genExpr(st.Value, v)
+		g.emit(minivm.Instr{Op: minivm.OpConst, A: addr, Imm: 0})
+		g.emit(minivm.Instr{Op: minivm.OpStore, A: v, B: addr, Imm: sym.addr})
+		g.freeTemps(2)
+		return
+	}
+	sym, ok := g.c.globals[st.Name]
+	if !ok || !sym.array {
+		g.fail(st.Pos, "%q is not a global array", st.Name)
+		return
+	}
+	v := g.temp()
+	idx := g.temp()
+	g.genExpr(st.Value, v)
+	g.genExpr(st.Index, idx)
+	g.emit(minivm.Instr{Op: minivm.OpStore, A: v, B: idx, Imm: sym.addr})
+	g.freeTemps(2)
+}
+
+func (g *procGen) genIf(st *lang.IfStmt) {
+	tl, fl, join := g.newLabel(), g.newLabel(), g.newLabel()
+	g.genCond(st.Cond, tl, fl)
+	g.bind(tl, st.Then.Pos)
+	g.genBlockStmt(st.Then)
+	g.jumpTo(join)
+	if st.Else != nil {
+		g.bind(fl, st.Else.StmtPos())
+		g.genStmt(st.Else)
+		g.jumpTo(join)
+		g.bind(join, st.Pos)
+	} else {
+		// fl and join are the same continuation.
+		g.bind(join, st.Pos)
+		fl.blk, fl.bound = join.blk, true
+	}
+}
+
+func (g *procGen) genWhile(st *lang.WhileStmt) {
+	header, body, exit := g.newLabel(), g.newLabel(), g.newLabel()
+	g.jumpTo(header)
+	g.bind(header, st.Pos) // loop head: cond evaluated here each iteration
+	g.genCond(st.Cond, body, exit)
+	g.bind(body, st.Body.Pos)
+	g.loops = append(g.loops, loopCtx{brk: exit, cont: header})
+	g.genBlockStmt(st.Body)
+	g.loops = g.loops[:len(g.loops)-1]
+	g.jumpTo(header) // the backwards branch (latch)
+	g.bind(exit, st.Pos)
+}
+
+func (g *procGen) genFor(st *lang.ForStmt) {
+	g.pushScope() // for-clause variables scope over the loop
+	if st.Init != nil {
+		g.genStmt(st.Init)
+	}
+	header, body, post, exit := g.newLabel(), g.newLabel(), g.newLabel(), g.newLabel()
+	g.jumpTo(header)
+	g.bind(header, st.Pos)
+	if st.Cond != nil {
+		g.genCond(st.Cond, body, exit)
+	} else {
+		g.jumpTo(body)
+	}
+	g.bind(body, st.Body.Pos)
+	g.loops = append(g.loops, loopCtx{brk: exit, cont: post})
+	g.genBlockStmt(st.Body)
+	g.loops = g.loops[:len(g.loops)-1]
+	g.jumpTo(post)
+	g.bind(post, st.Pos)
+	if st.Post != nil {
+		g.genStmt(st.Post)
+	}
+	g.jumpTo(header) // backwards branch
+	g.bind(exit, st.Pos)
+	g.popScope()
+}

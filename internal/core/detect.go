@@ -1,0 +1,71 @@
+package core
+
+import "phasemark/internal/minivm"
+
+// BoundaryFunc is called when a phase marker fires: marker is the index in
+// the MarkerSet, at is the dynamic instruction count at the firing point
+// (the beginning of the new interval).
+type BoundaryFunc func(marker int, at uint64)
+
+// Detector watches an execution for phase-marker firings. It embeds a
+// Walker, so wire it to the machine as the Observer. Detection is purely
+// structural: it needs no hardware support and no per-interval metrics —
+// this is the paper's "insert instrumentation at the markers" runtime,
+// applied to the same or a different input than the one profiled.
+type Detector struct {
+	*Walker
+	set    *MarkerSet
+	byKey  map[EdgeKey]int
+	seen   []uint64
+	fired  []uint64
+	onFire BoundaryFunc
+}
+
+type detectSink struct{ d *Detector }
+
+func (s detectSink) EdgeOpen(k EdgeKey, at uint64) {
+	d := s.d
+	i, ok := d.byKey[k]
+	if !ok {
+		return
+	}
+	d.seen[i]++
+	if (d.seen[i]-1)%d.set.Markers[i].GroupN == 0 {
+		d.fired[i]++
+		if d.onFire != nil {
+			d.onFire(i, at)
+		}
+	}
+}
+
+func (s detectSink) EdgeClose(EdgeKey, uint64) {}
+
+// NewDetector builds a detector for set over prog. The loop table may be
+// shared with other components; pass nil to compute it here.
+func NewDetector(prog *minivm.Program, loops *minivm.Loops, set *MarkerSet, onFire BoundaryFunc) *Detector {
+	if loops == nil {
+		loops = minivm.FindLoops(prog)
+	}
+	d := &Detector{
+		set:    set,
+		byKey:  set.ByKey(),
+		seen:   make([]uint64, len(set.Markers)),
+		fired:  make([]uint64, len(set.Markers)),
+		onFire: onFire,
+	}
+	d.Walker = NewWalker(prog, loops, detectSink{d: d})
+	return d
+}
+
+// Fired reports how many times marker i fired.
+func (d *Detector) Fired(i int) uint64 { return d.fired[i] }
+
+// TotalFired reports the total number of marker firings (phase-change
+// signals) observed.
+func (d *Detector) TotalFired() uint64 {
+	var n uint64
+	for _, f := range d.fired {
+		n += f
+	}
+	return n
+}

@@ -1,0 +1,260 @@
+// Package core implements the paper's contribution: the hierarchical
+// call-loop graph (§4) and the software phase-marker selection algorithm
+// (§5), including the SimPoint-oriented interval-limit variant (§5.2).
+//
+// The call-loop graph is a call graph extended with loop nodes. Each
+// procedure and each loop is represented by a *head* and a *body* node;
+// every head node has exactly one child, its body node. Edges carry the
+// traversal count and the max / mean / standard deviation of the
+// hierarchical (inclusive) dynamic instruction count per traversal:
+//
+//   - an edge into a procedure head measures call-to-return time (for
+//     recursive procedures, the entire outermost episode);
+//   - a procedure head→body edge measures each activation;
+//   - an edge into a loop head measures loop entry-to-exit time;
+//   - a loop head→body edge measures each iteration.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"phasemark/internal/minivm"
+	"phasemark/internal/stats"
+)
+
+// NodeKind distinguishes the four node flavors of the call-loop graph.
+type NodeKind uint8
+
+// Node kinds.
+const (
+	ProcHead NodeKind = iota
+	ProcBody
+	LoopHead
+	LoopBody
+	RootKind // virtual root above the entry procedure
+)
+
+var nodeKindNames = [...]string{"proc-head", "proc-body", "loop-head", "loop-body", "root"}
+
+// String names the node kind.
+func (k NodeKind) String() string {
+	if int(k) < len(nodeKindNames) {
+		return nodeKindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// NodeKey identifies a node stably across runs of the same binary: the
+// kind plus the procedure ID (proc nodes) or the loop head block's global
+// ID (loop nodes).
+type NodeKey struct {
+	Kind NodeKind
+	ID   int
+}
+
+// EdgeKey identifies an edge stably across runs of the same binary. Site
+// is the global block ID of the instruction that traverses the edge — the
+// call site block for call edges, the callee entry block for proc
+// head→body edges, and the loop head block for loop edges. Markers are
+// EdgeKeys: they name an instrumentable location in the binary.
+type EdgeKey struct {
+	From NodeKey
+	To   NodeKey
+	Site int
+}
+
+// String renders the key compactly.
+func (k EdgeKey) String() string {
+	return fmt.Sprintf("%v#%d->%v#%d@%d", k.From.Kind, k.From.ID, k.To.Kind, k.To.ID, k.Site)
+}
+
+// Node is a call-loop graph node.
+type Node struct {
+	Key  NodeKey
+	Proc *minivm.Proc // for proc nodes
+	Loop *minivm.Loop // for loop nodes
+	In   []*Edge
+	Out  []*Edge
+
+	// Depth is the estimated maximum call-loop depth from the root,
+	// computed by EstimateDepths for the selection algorithm's
+	// reverse-depth ordering.
+	Depth int
+}
+
+// Label renders a human-readable node name.
+func (n *Node) Label() string {
+	switch n.Key.Kind {
+	case ProcHead, ProcBody:
+		return fmt.Sprintf("%s(%s)", n.Key.Kind, n.Proc.Name)
+	case LoopHead, LoopBody:
+		return fmt.Sprintf("%s(%s@line%d)", n.Key.Kind, n.Loop.Proc.Name, n.Loop.Head.Line)
+	default:
+		return "root"
+	}
+}
+
+// Edge is a call-loop graph edge annotated with hierarchical instruction
+// count statistics per traversal (count, mean, max, stddev → CoV).
+type Edge struct {
+	Key  EdgeKey
+	From *Node
+	To   *Node
+	// Hier accumulates the hierarchical dynamic instruction count of each
+	// traversal of this edge.
+	Hier stats.Welford
+}
+
+// Count reports how many times the edge was traversed.
+func (e *Edge) Count() uint64 { return e.Hier.N() }
+
+// Avg reports the mean hierarchical instruction count per traversal (the
+// "A" annotation in the paper's Figure 2).
+func (e *Edge) Avg() float64 { return e.Hier.Mean() }
+
+// Max reports the maximum hierarchical instruction count on one traversal.
+func (e *Edge) Max() float64 { return e.Hier.Max() }
+
+// CoV reports the coefficient of variation of the hierarchical count.
+func (e *Edge) CoV() float64 { return e.Hier.CoV() }
+
+// Graph is the hierarchical call-loop graph for one profiled execution.
+type Graph struct {
+	Prog  *minivm.Program
+	Loops *minivm.Loops
+	Nodes []*Node
+	Edges []*Edge
+	Root  *Node
+
+	nodes    map[NodeKey]*Node
+	edges    map[EdgeKey]*Edge
+	blockIdx []*minivm.Block // global block ID -> block, built lazily
+}
+
+// NewGraph builds an empty graph over prog (loop table computed here).
+func NewGraph(prog *minivm.Program) *Graph {
+	g := &Graph{
+		Prog:  prog,
+		Loops: minivm.FindLoops(prog),
+		nodes: map[NodeKey]*Node{},
+		edges: map[EdgeKey]*Edge{},
+	}
+	g.Root = g.node(NodeKey{Kind: RootKind, ID: 0}, nil, nil)
+	return g
+}
+
+func (g *Graph) node(key NodeKey, pr *minivm.Proc, l *minivm.Loop) *Node {
+	if n, ok := g.nodes[key]; ok {
+		return n
+	}
+	n := &Node{Key: key, Proc: pr, Loop: l}
+	g.nodes[key] = n
+	g.Nodes = append(g.Nodes, n)
+	return n
+}
+
+// ProcHeadNode returns (creating if needed) the head node for pr.
+func (g *Graph) ProcHeadNode(pr *minivm.Proc) *Node {
+	return g.node(NodeKey{Kind: ProcHead, ID: pr.ID}, pr, nil)
+}
+
+// ProcBodyNode returns (creating if needed) the body node for pr.
+func (g *Graph) ProcBodyNode(pr *minivm.Proc) *Node {
+	return g.node(NodeKey{Kind: ProcBody, ID: pr.ID}, pr, nil)
+}
+
+// LoopHeadNode returns (creating if needed) the head node for l.
+func (g *Graph) LoopHeadNode(l *minivm.Loop) *Node {
+	return g.node(NodeKey{Kind: LoopHead, ID: l.Head.ID}, nil, l)
+}
+
+// LoopBodyNode returns (creating if needed) the body node for l.
+func (g *Graph) LoopBodyNode(l *minivm.Loop) *Node {
+	return g.node(NodeKey{Kind: LoopBody, ID: l.Head.ID}, nil, l)
+}
+
+// edge returns (creating if needed) the edge from→to with the given site.
+func (g *Graph) edge(from, to *Node, site int) *Edge {
+	key := EdgeKey{From: from.Key, To: to.Key, Site: site}
+	if e, ok := g.edges[key]; ok {
+		return e
+	}
+	e := &Edge{Key: key, From: from, To: to}
+	g.edges[key] = e
+	g.Edges = append(g.Edges, e)
+	from.Out = append(from.Out, e)
+	to.In = append(to.In, e)
+	return e
+}
+
+// EdgeByKey looks up an edge, or nil.
+func (g *Graph) EdgeByKey(k EdgeKey) *Edge { return g.edges[k] }
+
+// NodeByKey looks up a node, or nil.
+func (g *Graph) NodeByKey(k NodeKey) *Node { return g.nodes[k] }
+
+// EstimateDepths computes, for every node, an estimate of the maximum
+// depth from the root, using the paper's modified depth-first search: a
+// node is re-traversed when a longer path to it is found, but never
+// re-entered while on the current path (so cycles terminate).
+func (g *Graph) EstimateDepths() {
+	for _, n := range g.Nodes {
+		n.Depth = 0
+	}
+	onPath := map[*Node]bool{}
+	var dfs func(n *Node, d int)
+	dfs = func(n *Node, d int) {
+		if onPath[n] {
+			return
+		}
+		if d <= n.Depth && d != 0 {
+			return // no improvement; subtree depths already >= what we'd set
+		}
+		n.Depth = d
+		onPath[n] = true
+		for _, e := range n.Out {
+			dfs(e.To, d+1)
+		}
+		onPath[n] = false
+	}
+	dfs(g.Root, 0)
+}
+
+// NodesByReverseDepth returns nodes sorted by decreasing estimated depth,
+// breaking ties by increasing out-degree (leaves first), then by key for
+// determinism. EstimateDepths must have run.
+func (g *Graph) NodesByReverseDepth() []*Node {
+	ns := make([]*Node, len(g.Nodes))
+	copy(ns, g.Nodes)
+	sort.Slice(ns, func(i, j int) bool {
+		a, b := ns[i], ns[j]
+		if a.Depth != b.Depth {
+			return a.Depth > b.Depth
+		}
+		if len(a.Out) != len(b.Out) {
+			return len(a.Out) < len(b.Out)
+		}
+		if a.Key.Kind != b.Key.Kind {
+			return a.Key.Kind < b.Key.Kind
+		}
+		return a.Key.ID < b.Key.ID
+	})
+	return ns
+}
+
+// Dump renders the graph in a stable order for debugging and the CLI.
+func (g *Graph) Dump() string {
+	g.EstimateDepths()
+	var out string
+	for _, n := range g.NodesByReverseDepth() {
+		out += fmt.Sprintf("%s (depth %d)\n", n.Label(), n.Depth)
+		edges := append([]*Edge(nil), n.In...)
+		sort.Slice(edges, func(i, j int) bool { return edges[i].Key.String() < edges[j].Key.String() })
+		for _, e := range edges {
+			out += fmt.Sprintf("  <- %s  C=%d A=%.1f CoV=%.3f max=%.0f\n",
+				e.From.Label(), e.Count(), e.Avg(), e.CoV(), e.Max())
+		}
+	}
+	return out
+}

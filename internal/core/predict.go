@@ -1,0 +1,111 @@
+package core
+
+// Phase prediction over marker firings. The paper positions software phase
+// markers as run-time phase-change signals (§5.3); its companion work [17]
+// predicts the *next* phase at each transition. Because markers are code
+// locations, the firing sequence is highly structured (loops of phases),
+// so a simple Markov predictor over marker IDs achieves high accuracy with
+// no hardware support — this is the natural software analogue, provided
+// here as the library's phase-prediction extension.
+
+// Predictor forecasts the next marker to fire from the last `order`
+// firings, with a last-value fallback for unseen contexts. The zero value
+// is not usable; use NewPredictor.
+type Predictor struct {
+	order   int
+	history []int
+	table   map[string]*predEntry
+	correct uint64
+	total   uint64
+}
+
+type predEntry struct {
+	counts map[int]uint32
+	best   int
+	bestN  uint32
+}
+
+// NewPredictor builds a Markov predictor of the given order (1 or 2 are
+// typical; anything below 1 is clamped to 1).
+func NewPredictor(order int) *Predictor {
+	if order < 1 {
+		order = 1
+	}
+	return &Predictor{order: order, table: map[string]*predEntry{}}
+}
+
+func (p *Predictor) key() string {
+	// History is short (order <= 4 in practice); a tiny string key keeps
+	// the table simple and allocation-light.
+	var b []byte
+	for _, h := range p.history {
+		b = append(b, byte(h), byte(h>>8))
+	}
+	return string(b)
+}
+
+// Predict returns the marker expected to fire next, or -1 before any
+// history exists.
+func (p *Predictor) Predict() int {
+	if len(p.history) == 0 {
+		return -1
+	}
+	if e, ok := p.table[p.key()]; ok && e.bestN > 0 {
+		return e.best
+	}
+	// Fallback: phases tend to recur back-to-back at boundaries; predict
+	// the most recent marker.
+	return p.history[len(p.history)-1]
+}
+
+// Observe consumes an actual firing, scoring the pending prediction and
+// updating the model. It returns whether the prediction was correct.
+func (p *Predictor) Observe(marker int) bool {
+	pred := p.Predict()
+	hit := pred == marker
+	if pred >= 0 {
+		p.total++
+		if hit {
+			p.correct++
+		}
+	}
+	if len(p.history) > 0 {
+		k := p.key()
+		e := p.table[k]
+		if e == nil {
+			e = &predEntry{counts: map[int]uint32{}}
+			p.table[k] = e
+		}
+		e.counts[marker]++
+		if e.counts[marker] > e.bestN {
+			e.best, e.bestN = marker, e.counts[marker]
+		}
+	}
+	p.history = append(p.history, marker)
+	if len(p.history) > p.order {
+		p.history = p.history[1:]
+	}
+	return hit
+}
+
+// Accuracy reports the fraction of scored predictions that were correct.
+func (p *Predictor) Accuracy() float64 {
+	if p.total == 0 {
+		return 0
+	}
+	return float64(p.correct) / float64(p.total)
+}
+
+// Predictions reports how many firings were scored.
+func (p *Predictor) Predictions() uint64 { return p.total }
+
+// EvaluatePrediction replays a marker trace through a fresh predictor of
+// the given order and reports the online accuracy — how often the next
+// phase was known before it began.
+func EvaluatePrediction(trace []int, order int) float64 {
+	p := NewPredictor(order)
+	for _, m := range trace {
+		p.Observe(m)
+	}
+	return p.Accuracy()
+}

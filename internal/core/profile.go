@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+
+	"phasemark/internal/minivm"
+)
+
+// Profiler accumulates a call-loop graph from an execution. Use it as the
+// machine's Observer (directly or inside a MultiObserver), then read Graph.
+type Profiler struct {
+	*Walker
+	g *Graph
+}
+
+type profileSink struct {
+	g *Graph
+}
+
+func (s profileSink) EdgeOpen(EdgeKey, uint64) {}
+
+func (s profileSink) EdgeClose(k EdgeKey, hier uint64) {
+	s.g.ensureEdge(k).Hier.Add(float64(hier))
+}
+
+// NewProfiler builds a profiler (and its graph) for prog.
+func NewProfiler(prog *minivm.Program) *Profiler {
+	g := NewGraph(prog)
+	p := &Profiler{g: g}
+	p.Walker = NewWalker(prog, g.Loops, profileSink{g: g})
+	return p
+}
+
+// Graph returns the call-loop graph built so far. Call Walker.Finish first
+// to flush open traversals after a truncated run.
+func (p *Profiler) Graph() *Graph { return p.g }
+
+// resolveNode materializes the node for a stable key.
+func (g *Graph) resolveNode(k NodeKey) *Node {
+	if n, ok := g.nodes[k]; ok {
+		return n
+	}
+	switch k.Kind {
+	case RootKind:
+		return g.Root
+	case ProcHead:
+		return g.ProcHeadNode(g.Prog.Procs[k.ID])
+	case ProcBody:
+		return g.ProcBodyNode(g.Prog.Procs[k.ID])
+	default:
+		head := g.blockByID(k.ID)
+		l := g.Loops.LoopAtHead(head)
+		if l == nil {
+			panic(fmt.Sprintf("core: no loop headed by block %d", k.ID))
+		}
+		if k.Kind == LoopHead {
+			return g.LoopHeadNode(l)
+		}
+		return g.LoopBodyNode(l)
+	}
+}
+
+func (g *Graph) ensureEdge(k EdgeKey) *Edge {
+	if e, ok := g.edges[k]; ok {
+		return e
+	}
+	return g.edge(g.resolveNode(k.From), g.resolveNode(k.To), k.Site)
+}
+
+func (g *Graph) blockByID(id int) *minivm.Block {
+	if g.blockIdx == nil {
+		g.blockIdx = make([]*minivm.Block, g.Prog.NumBlocks)
+		for _, pr := range g.Prog.Procs {
+			for _, b := range pr.Blocks {
+				g.blockIdx[b.ID] = b
+			}
+		}
+	}
+	if id < 0 || id >= len(g.blockIdx) {
+		return nil
+	}
+	return g.blockIdx[id]
+}
+
+// ProfileRun compiles nothing and runs nothing fancy: it executes prog on
+// args with a fresh profiler and returns the resulting call-loop graph.
+// This is the "analyze the binary with ATOM" step of the paper.
+func ProfileRun(prog *minivm.Program, args ...int64) (*Graph, error) {
+	p := NewProfiler(prog)
+	m := minivm.NewMachine(prog, p)
+	if _, err := m.Run(args...); err != nil {
+		return nil, fmt.Errorf("core: profiling run failed: %w", err)
+	}
+	if err := p.Finish(); err != nil {
+		return nil, err
+	}
+	return p.Graph(), nil
+}

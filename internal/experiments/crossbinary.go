@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"phasemark/internal/compile"
+	"phasemark/internal/core"
+	"phasemark/internal/crossbin"
+	"phasemark/internal/lang"
+	"phasemark/internal/minivm"
+	"phasemark/internal/sequitur"
+	"phasemark/internal/workloads"
+)
+
+// CrossBinary reproduces the §6.2.1 study: for every workload, markers are
+// selected on the -O0 register binary and mapped through source debug info
+// both to the peak-optimized binary and to the stack-machine binary (a
+// different ISA); all three binaries run the same input and the sequences
+// of marker firings must match exactly for the markers to define
+// cross-binary simulation points.
+func (s *Suite) CrossBinary() (*Table, error) {
+	t := &Table{
+		Title: "§6.2.1: cross-binary phase-marker traces (-O0 vs optimized vs stack ISA)",
+		Note:  "identical traces mean simulation points can be reused across compilations and ISAs",
+		Cols: []string{"program", "markers", "fires -O0",
+			"opt mapped", "opt match", "stack mapped", "stack match"},
+	}
+	for _, w := range workloads.All() {
+		d, err := s.wd(w)
+		if err != nil {
+			return nil, err
+		}
+		set, err := d.markerSet("no-limit cross")
+		if err != nil {
+			return nil, err
+		}
+		tr0, err := crossbin.Trace(d.prog, set, w.Ref...)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{w.Name, itoa(len(set.Markers)), itoa(len(tr0))}
+		for _, mode := range []compile.Options{{Optimize: true}, {Stack: true}} {
+			f, err := lang.Parse(w.Source)
+			if err != nil {
+				return nil, err
+			}
+			bin, err := compile.Compile(f, mode)
+			if err != nil {
+				return nil, err
+			}
+			mapped, rep, err := crossbin.MapMarkers(set, d.prog, bin)
+			if err != nil {
+				return nil, err
+			}
+			match := "-"
+			if len(rep.Unmapped) == 0 {
+				tr1, err := crossbin.Trace(bin, mapped, w.Ref...)
+				if err != nil {
+					return nil, err
+				}
+				if crossbin.TracesEqual(tr0, tr1) {
+					match = "YES"
+				} else {
+					match = "NO"
+				}
+			}
+			row = append(row, itoa(rep.Mapped), match)
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// SelectionSpeed reports the marker-selection analysis cost per program —
+// the paper's claim that the whole analysis runs in seconds (O(E + N log
+// N) on the call-loop graph) where the prior approaches run Sequitur over
+// full execution traces ([15] on branch traces; [23] on reuse traces). To
+// make the comparison concrete, the table also times SEQUITUR grammar
+// inference over the program's dynamic basic-block trace, capped at
+// seqCap events (the real traces are orders of magnitude longer, so the
+// Sequitur column is a generous lower bound).
+func (s *Suite) SelectionSpeed() (*Table, error) {
+	const seqCap = 300_000
+	t := &Table{
+		Title: "§5.1: analysis cost — call-loop selection vs Sequitur-on-trace",
+		Note:  fmt.Sprintf("Sequitur timed on the first %d block events of the train run (a generous lower bound)", seqCap),
+		Cols:  []string{"program", "nodes", "edges", "select time", "trace events", "sequitur time", "ratio"},
+	}
+	for _, w := range workloads.All() {
+		d, err := s.wd(w)
+		if err != nil {
+			return nil, err
+		}
+		g, err := d.graph(true)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		core.SelectMarkers(g, core.SelectOptions{ILower: ILower})
+		sel := time.Since(start)
+
+		// Collect a capped dynamic block trace of the train input.
+		tr := &traceCap{cap: seqCap}
+		m := minivm.NewMachine(d.prog, tr)
+		if _, err := m.Run(d.w.Train...); err != nil {
+			return nil, err
+		}
+		start = time.Now()
+		gram := sequitur.Build(tr.seq)
+		seq := time.Since(start)
+		_ = gram
+		ratio := float64(seq) / float64(sel)
+		t.AddRow(w.Name, itoa(len(g.Nodes)), itoa(len(g.Edges)),
+			sel.Round(time.Microsecond).String(),
+			itoa(len(tr.seq)), seq.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.0fx", ratio))
+	}
+	return t, nil
+}
+
+type traceCap struct {
+	minivm.NopObserver
+	cap int
+	seq []int
+}
+
+func (t *traceCap) OnBlock(b *minivm.Block) {
+	if len(t.seq) < t.cap {
+		t.seq = append(t.seq, b.ID)
+	}
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		Title: "demo",
+		Note:  "a note",
+		Cols:  []string{"name", "x", "y"},
+	}
+	tab.AddRow("first", "1.0", "2.0")
+	tab.AddRow("second-longer", "10.0", "200.0")
+	s := tab.String()
+	for _, want := range []string{"== demo ==", "a note", "second-longer", "200.0"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("render missing %q:\n%s", want, s)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	// Header, separator, two rows, plus title/note.
+	if len(lines) != 6 {
+		t.Errorf("got %d lines:\n%s", len(lines), s)
+	}
+}
+
+func TestFig3ShowsAlternatingPhases(t *testing.T) {
+	s := NewSuite()
+	tab, err := s.Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 10 {
+		t.Fatalf("only %d rows", len(tab.Rows))
+	}
+	// Markers must appear, and both high- and low-miss slices must exist.
+	markers := 0
+	var sawHigh, sawLow bool
+	for _, row := range tab.Rows {
+		if row[3] != "" {
+			markers++
+		}
+		miss := row[2]
+		if strings.HasPrefix(miss, "2") && strings.Contains(miss, "%") {
+			sawHigh = true
+		}
+		if strings.HasPrefix(miss, "0.") {
+			sawLow = true
+		}
+	}
+	if markers < 4 {
+		t.Errorf("only %d marker firings plotted", markers)
+	}
+	if !sawHigh || !sawLow {
+		t.Errorf("missing alternating miss-rate levels (high=%v low=%v)", sawHigh, sawLow)
+	}
+}
+
+func TestFig56VLIsBeatFixedIntervals(t *testing.T) {
+	s := NewSuite()
+	tab, err := s.Fig56()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows: %v", tab.Rows)
+	}
+	fixed, vli := tab.Rows[0], tab.Rows[1]
+	parse := func(s string) float64 {
+		var v float64
+		if _, err := sscan(s, &v); err != nil {
+			t.Fatalf("parse %q: %v", s, err)
+		}
+		return v
+	}
+	if parse(vli[2]) >= parse(fixed[2]) {
+		t.Errorf("VLI mean distance %s not below fixed %s", vli[2], fixed[2])
+	}
+}
+
+func TestSelectionSpeedTableCoversAllWorkloads(t *testing.T) {
+	s := NewSuite()
+	tab, err := s.SelectionSpeed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 16 {
+		t.Fatalf("rows = %d, want 16", len(tab.Rows))
+	}
+}
+
+func sscan(s string, v *float64) (int, error) {
+	return fmt.Sscanf(strings.TrimSuffix(s, "%"), "%f", v)
+}

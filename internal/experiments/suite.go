@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"phasemark/internal/core"
+	"phasemark/internal/minivm"
+	"phasemark/internal/simpoint"
+	"phasemark/internal/trace"
+	"phasemark/internal/uarch"
+	"phasemark/internal/workloads"
+)
+
+// Suite memoizes the expensive shared artifacts (profiles, marker sets,
+// traced executions, clusterings) across figures so `spexp -fig all` and
+// the benchmark suite don't recompute them per figure.
+type Suite struct {
+	mu   sync.Mutex
+	data map[string]*wdata
+}
+
+// NewSuite builds an empty suite cache.
+func NewSuite() *Suite {
+	return &Suite{data: map[string]*wdata{}}
+}
+
+// wdata is the lazily computed per-workload state.
+type wdata struct {
+	w    *workloads.Workload
+	prog *minivm.Program
+
+	graphs   map[bool]*core.Graph // keyed by isRef
+	sets     map[string]*core.MarkerSet
+	traces   map[string]*trace.Result
+	clusters map[string]*simpoint.Clustering
+}
+
+func (s *Suite) wd(w *workloads.Workload) (*wdata, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d, ok := s.data[w.Name]; ok {
+		return d, nil
+	}
+	prog, err := w.Compile(false)
+	if err != nil {
+		return nil, err
+	}
+	d := &wdata{
+		w:        w,
+		prog:     prog,
+		graphs:   map[bool]*core.Graph{},
+		sets:     map[string]*core.MarkerSet{},
+		traces:   map[string]*trace.Result{},
+		clusters: map[string]*simpoint.Clustering{},
+	}
+	s.data[w.Name] = d
+	return d, nil
+}
+
+func (d *wdata) graph(ref bool) (*core.Graph, error) {
+	if g, ok := d.graphs[ref]; ok {
+		return g, nil
+	}
+	args := d.w.Train
+	if ref {
+		args = d.w.Ref
+	}
+	g, err := core.ProfileRun(d.prog, args...)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", d.w.Name, err)
+	}
+	d.graphs[ref] = g
+	return g, nil
+}
+
+// markerConfigs are the five marker-selection approaches of Figures 7–9.
+var markerConfigs = []struct {
+	Name string
+	Ref  bool // profile input: ref (self-train) or train (cross-train)
+	Opts core.SelectOptions
+}{
+	{"procs no-limit cross", false, core.SelectOptions{ILower: ILower, ProcsOnly: true}},
+	{"procs no-limit self", true, core.SelectOptions{ILower: ILower, ProcsOnly: true}},
+	{"no-limit cross", false, core.SelectOptions{ILower: ILower}},
+	{"no-limit self", true, core.SelectOptions{ILower: ILower}},
+	{"limit 100k-2m", true, core.SelectOptions{ILower: LimitMin, MaxLimit: LimitMax}},
+}
+
+func (d *wdata) markerSet(name string) (*core.MarkerSet, error) {
+	if s, ok := d.sets[name]; ok {
+		return s, nil
+	}
+	for _, mc := range markerConfigs {
+		if mc.Name != name {
+			continue
+		}
+		g, err := d.graph(mc.Ref)
+		if err != nil {
+			return nil, err
+		}
+		set := core.SelectMarkers(g, mc.Opts)
+		d.sets[name] = set
+		return set, nil
+	}
+	return nil, fmt.Errorf("unknown marker config %q", name)
+}
+
+// traced runs the ref input segmented by the named mode:
+// "fixed:<n>" cuts every n instructions (BBVs collected);
+// a marker-config name cuts at that set's firings (BBVs collected only for
+// the limit config, which feeds VLI SimPoint).
+func (d *wdata) traced(mode string) (*trace.Result, error) {
+	if r, ok := d.traces[mode]; ok {
+		return r, nil
+	}
+	cfg := trace.Config{
+		Prog: d.prog,
+		Args: d.w.Ref,
+		CPU:  uarch.DefaultConfig(),
+	}
+	var n uint64
+	if _, err := fmt.Sscanf(mode, "fixed:%d", &n); err == nil {
+		cfg.FixedLen = n
+	} else {
+		set, err := d.markerSet(mode)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Markers = set
+	}
+	r, err := trace.Run(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%s/%s: %w", d.w.Name, mode, err)
+	}
+	d.traces[mode] = r
+	return r, nil
+}
+
+// clustered runs SimPoint classification over a traced mode's intervals.
+func (d *wdata) clustered(mode string, kmax int, seed uint64) (*simpoint.Clustering, *trace.Result, error) {
+	key := fmt.Sprintf("%s/k%d", mode, kmax)
+	res, err := d.traced(mode)
+	if err != nil {
+		return nil, nil, err
+	}
+	if c, ok := d.clusters[key]; ok {
+		return c, res, nil
+	}
+	c := simpoint.Classify(res, simpoint.Options{KMax: kmax, Dims: 15, Seed: seed, Restarts: 2, MaxIters: 40})
+	d.clusters[key] = c
+	return c, res, nil
+}

@@ -1,0 +1,216 @@
+package lang
+
+// File is a parsed translation unit: global declarations plus procedures.
+type File struct {
+	Globals []*GlobalDecl
+	Procs   []*ProcDecl
+}
+
+// GlobalDecl declares a global scalar (`var g;`) or array (`array a[n];`).
+// Scalars are arrays of size 1 at the IR level.
+type GlobalDecl struct {
+	Name  string
+	Size  int64 // 1 for scalars
+	Array bool
+	Pos   Pos
+}
+
+// ProcDecl is a procedure definition.
+type ProcDecl struct {
+	Name   string
+	Params []string
+	Body   *BlockStmt
+	Pos    Pos
+}
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface {
+	stmtNode()
+	StmtPos() Pos
+}
+
+// Expr is implemented by all expression nodes.
+type Expr interface {
+	exprNode()
+	ExprPos() Pos
+}
+
+// BlockStmt is a `{ ... }` statement list.
+type BlockStmt struct {
+	Stmts []Stmt
+	Pos   Pos
+}
+
+// VarStmt declares a local variable, optionally initialized.
+type VarStmt struct {
+	Name string
+	Init Expr // may be nil
+	Pos  Pos
+}
+
+// AssignStmt assigns to a scalar variable or an array element.
+type AssignStmt struct {
+	Name  string
+	Index Expr // nil for scalar assignment
+	Value Expr
+	Pos   Pos
+}
+
+// IfStmt is if/else; Else may be nil or another statement (else-if chains
+// parse as nested IfStmts).
+type IfStmt struct {
+	Cond Expr
+	Then *BlockStmt
+	Else Stmt // *BlockStmt or *IfStmt, or nil
+	Pos  Pos
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Cond Expr
+	Body *BlockStmt
+	Pos  Pos
+}
+
+// ForStmt is C-style for(init; cond; post). Any of the three may be nil.
+type ForStmt struct {
+	Init Stmt // VarStmt or AssignStmt
+	Cond Expr
+	Post Stmt // AssignStmt
+	Body *BlockStmt
+	Pos  Pos
+}
+
+// ReturnStmt returns a value (nil Value returns 0).
+type ReturnStmt struct {
+	Value Expr
+	Pos   Pos
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Pos Pos }
+
+// ContinueStmt jumps to the innermost loop's next-iteration point.
+type ContinueStmt struct{ Pos Pos }
+
+// ExprStmt evaluates an expression for effect (in practice, a call).
+type ExprStmt struct {
+	X   Expr
+	Pos Pos
+}
+
+// OutStmt emits a value to the machine's output stream.
+type OutStmt struct {
+	X   Expr
+	Pos Pos
+}
+
+func (*BlockStmt) stmtNode()    {}
+func (*VarStmt) stmtNode()      {}
+func (*AssignStmt) stmtNode()   {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*ExprStmt) stmtNode()     {}
+func (*OutStmt) stmtNode()      {}
+
+// StmtPos implements Stmt.
+func (s *BlockStmt) StmtPos() Pos { return s.Pos }
+
+// StmtPos implements Stmt.
+func (s *VarStmt) StmtPos() Pos { return s.Pos }
+
+// StmtPos implements Stmt.
+func (s *AssignStmt) StmtPos() Pos { return s.Pos }
+
+// StmtPos implements Stmt.
+func (s *IfStmt) StmtPos() Pos { return s.Pos }
+
+// StmtPos implements Stmt.
+func (s *WhileStmt) StmtPos() Pos { return s.Pos }
+
+// StmtPos implements Stmt.
+func (s *ForStmt) StmtPos() Pos { return s.Pos }
+
+// StmtPos implements Stmt.
+func (s *ReturnStmt) StmtPos() Pos { return s.Pos }
+
+// StmtPos implements Stmt.
+func (s *BreakStmt) StmtPos() Pos { return s.Pos }
+
+// StmtPos implements Stmt.
+func (s *ContinueStmt) StmtPos() Pos { return s.Pos }
+
+// StmtPos implements Stmt.
+func (s *ExprStmt) StmtPos() Pos { return s.Pos }
+
+// StmtPos implements Stmt.
+func (s *OutStmt) StmtPos() Pos { return s.Pos }
+
+// NumberExpr is an integer literal.
+type NumberExpr struct {
+	Val int64
+	Pos Pos
+}
+
+// IdentExpr references a local, parameter, or global scalar.
+type IdentExpr struct {
+	Name string
+	Pos  Pos
+}
+
+// IndexExpr reads a global array element.
+type IndexExpr struct {
+	Name  string
+	Index Expr
+	Pos   Pos
+}
+
+// CallExpr calls a procedure.
+type CallExpr struct {
+	Name string
+	Args []Expr
+	Pos  Pos
+}
+
+// UnaryExpr applies -, !, or ~.
+type UnaryExpr struct {
+	Op  Kind
+	X   Expr
+	Pos Pos
+}
+
+// BinaryExpr applies a binary operator; AndAnd/OrOr short-circuit.
+type BinaryExpr struct {
+	Op   Kind
+	L, R Expr
+	Pos  Pos
+}
+
+func (*NumberExpr) exprNode() {}
+func (*IdentExpr) exprNode()  {}
+func (*IndexExpr) exprNode()  {}
+func (*CallExpr) exprNode()   {}
+func (*UnaryExpr) exprNode()  {}
+func (*BinaryExpr) exprNode() {}
+
+// ExprPos implements Expr.
+func (e *NumberExpr) ExprPos() Pos { return e.Pos }
+
+// ExprPos implements Expr.
+func (e *IdentExpr) ExprPos() Pos { return e.Pos }
+
+// ExprPos implements Expr.
+func (e *IndexExpr) ExprPos() Pos { return e.Pos }
+
+// ExprPos implements Expr.
+func (e *CallExpr) ExprPos() Pos { return e.Pos }
+
+// ExprPos implements Expr.
+func (e *UnaryExpr) ExprPos() Pos { return e.Pos }
+
+// ExprPos implements Expr.
+func (e *BinaryExpr) ExprPos() Pos { return e.Pos }

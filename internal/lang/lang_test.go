@@ -1,0 +1,173 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenizeBasics(t *testing.T) {
+	toks, err := Tokenize(`proc f(a, b) { return a + b * 0x1F; } // comment`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []Kind{KwProc, IDENT, LParen, IDENT, Comma, IDENT, RParen,
+		LBrace, KwReturn, IDENT, Plus, IDENT, Star, NUMBER, Semicolon, RBrace, EOF}
+	if len(toks) != len(kinds) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(kinds), toks)
+	}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Errorf("token %d: got %v, want %v", i, toks[i].Kind, k)
+		}
+	}
+	if toks[13].Val != 0x1F {
+		t.Errorf("hex literal = %d", toks[13].Val)
+	}
+}
+
+func TestTokenizeOperators(t *testing.T) {
+	src := `== != <= >= << >> && || = ! < > & | ^ ~ %`
+	want := []Kind{EqEq, NotEq, Le, Ge, Shl, Shr, AndAnd, OrOr,
+		Assign, Bang, Lt, Gt, Amp, Pipe, Caret, Tilde, Percent, EOF}
+	toks, err := Tokenize(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d: got %v, want %v", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestTokenPositions(t *testing.T) {
+	toks, err := Tokenize("a\n  b\n\tc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos != (Pos{1, 1}) || toks[1].Pos != (Pos{2, 3}) || toks[2].Pos != (Pos{3, 2}) {
+		t.Errorf("positions: %v %v %v", toks[0].Pos, toks[1].Pos, toks[2].Pos)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"@", "proc $", "99999999999999999999999999"} {
+		if _, err := Tokenize(src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestParseStructure(t *testing.T) {
+	f, err := Parse(`
+var g;
+array a[16];
+proc helper(x) { return x * 2; }
+proc main(n) {
+	var s = 0;
+	for (var i = 0; i < n; i = i + 1) {
+		if (i % 2 == 0 && i > 0) { s = s + helper(i); }
+		else if (i == 1) { continue; }
+		else { break; }
+	}
+	while (s > 100) { s = s - a[s & 15]; }
+	out(s);
+	return s;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Globals) != 2 || len(f.Procs) != 2 {
+		t.Fatalf("globals=%d procs=%d", len(f.Globals), len(f.Procs))
+	}
+	if f.Globals[0].Array || f.Globals[0].Size != 1 {
+		t.Error("scalar global parsed wrong")
+	}
+	if !f.Globals[1].Array || f.Globals[1].Size != 16 {
+		t.Error("array global parsed wrong")
+	}
+	m := f.Procs[1]
+	if m.Name != "main" || len(m.Params) != 1 {
+		t.Errorf("main decl: %+v", m)
+	}
+	// Statement shapes of main's body.
+	wantTypes := []string{"*lang.VarStmt", "*lang.ForStmt", "*lang.WhileStmt", "*lang.OutStmt", "*lang.ReturnStmt"}
+	if len(m.Body.Stmts) != len(wantTypes) {
+		t.Fatalf("got %d statements", len(m.Body.Stmts))
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	f, err := Parse(`proc main() { return 1 + 2 * 3 < 4 & 5 ^ 6 | 7 && 8; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret := f.Procs[0].Body.Stmts[0].(*ReturnStmt)
+	// Loosest operator is &&.
+	top, ok := ret.Value.(*BinaryExpr)
+	if !ok || top.Op != AndAnd {
+		t.Fatalf("top op = %v", ret.Value)
+	}
+	left, ok := top.L.(*BinaryExpr)
+	if !ok || left.Op != OrOr && left.Op != Pipe {
+		t.Fatalf("second level = %+v", top.L)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		``,
+		`proc`,
+		`proc f { }`,
+		`proc f() { return 1 }`,  // missing semicolon
+		`proc f() { x = ; }`,     // missing expression
+		`proc f() { if x { } }`,  // missing parens
+		`array a[]; proc f() {}`, // missing size
+		`array a[0]; proc f() { return 0; }`,
+		`proc f() { var; }`,
+		`proc f() ( return 1; )`,
+		`var g proc f() {}`,
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("no parse error for %q", src)
+		}
+	}
+}
+
+func TestParseErrorHasPosition(t *testing.T) {
+	_, err := Parse("proc f() {\n  bogus ?;\n}")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "2:") {
+		t.Errorf("error lacks line info: %v", err)
+	}
+}
+
+// Property: the parser never panics and always terminates on arbitrary
+// input bytes.
+func TestParseNeverPanics(t *testing.T) {
+	f := func(src string) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic on %q: %v", src, r)
+			}
+		}()
+		_, _ = Parse(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMustParsePanicsOnBadSource(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse must panic on bad input")
+		}
+	}()
+	MustParse("not a program")
+}

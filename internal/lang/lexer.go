@@ -1,0 +1,193 @@
+package lang
+
+import "strconv"
+
+// Lexer turns source text into tokens. It supports //-comments, decimal
+// and 0x-hex integer literals, and the operator set in token.go.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer builds a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) skipSpace() {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentCont(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// Next returns the next token, or an EOF token at end of input. Lexical
+// errors are returned as *Error.
+func (l *Lexer) Next() (Token, error) {
+	l.skipSpace()
+	pos := Pos{Line: l.line, Col: l.col}
+	if l.off >= len(l.src) {
+		return Token{Kind: EOF, Pos: pos}, nil
+	}
+	c := l.peek()
+	switch {
+	case isIdentStart(c):
+		start := l.off
+		for l.off < len(l.src) && isIdentCont(l.peek()) {
+			l.advance()
+		}
+		text := l.src[start:l.off]
+		if k, ok := keywords[text]; ok {
+			return Token{Kind: k, Text: text, Pos: pos}, nil
+		}
+		return Token{Kind: IDENT, Text: text, Pos: pos}, nil
+	case isDigit(c):
+		start := l.off
+		base := 10
+		if c == '0' && (l.peek2() == 'x' || l.peek2() == 'X') {
+			l.advance()
+			l.advance()
+			base = 16
+			start = l.off
+			for l.off < len(l.src) && isHex(l.peek()) {
+				l.advance()
+			}
+		} else {
+			for l.off < len(l.src) && isDigit(l.peek()) {
+				l.advance()
+			}
+		}
+		text := l.src[start:l.off]
+		v, err := strconv.ParseInt(text, base, 64)
+		if err != nil {
+			return Token{}, errf(pos, "bad integer literal %q", text)
+		}
+		return Token{Kind: NUMBER, Text: text, Val: v, Pos: pos}, nil
+	}
+	l.advance()
+	two := func(next byte, withKind, aloneKind Kind) (Token, error) {
+		if l.peek() == next {
+			l.advance()
+			return Token{Kind: withKind, Pos: pos}, nil
+		}
+		return Token{Kind: aloneKind, Pos: pos}, nil
+	}
+	switch c {
+	case '(':
+		return Token{Kind: LParen, Pos: pos}, nil
+	case ')':
+		return Token{Kind: RParen, Pos: pos}, nil
+	case '{':
+		return Token{Kind: LBrace, Pos: pos}, nil
+	case '}':
+		return Token{Kind: RBrace, Pos: pos}, nil
+	case '[':
+		return Token{Kind: LBracket, Pos: pos}, nil
+	case ']':
+		return Token{Kind: RBracket, Pos: pos}, nil
+	case ',':
+		return Token{Kind: Comma, Pos: pos}, nil
+	case ';':
+		return Token{Kind: Semicolon, Pos: pos}, nil
+	case '+':
+		return Token{Kind: Plus, Pos: pos}, nil
+	case '-':
+		return Token{Kind: Minus, Pos: pos}, nil
+	case '*':
+		return Token{Kind: Star, Pos: pos}, nil
+	case '/':
+		return Token{Kind: Slash, Pos: pos}, nil
+	case '%':
+		return Token{Kind: Percent, Pos: pos}, nil
+	case '^':
+		return Token{Kind: Caret, Pos: pos}, nil
+	case '~':
+		return Token{Kind: Tilde, Pos: pos}, nil
+	case '=':
+		return two('=', EqEq, Assign)
+	case '!':
+		return two('=', NotEq, Bang)
+	case '&':
+		return two('&', AndAnd, Amp)
+	case '|':
+		return two('|', OrOr, Pipe)
+	case '<':
+		if l.peek() == '<' {
+			l.advance()
+			return Token{Kind: Shl, Pos: pos}, nil
+		}
+		return two('=', Le, Lt)
+	case '>':
+		if l.peek() == '>' {
+			l.advance()
+			return Token{Kind: Shr, Pos: pos}, nil
+		}
+		return two('=', Ge, Gt)
+	}
+	return Token{}, errf(pos, "unexpected character %q", string(c))
+}
+
+func isHex(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+// Tokenize lexes the whole input (testing convenience).
+func Tokenize(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == EOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,358 @@
+package lang
+
+import "fmt"
+
+// Parser is a recursive-descent parser with one token of lookahead and
+// conventional precedence climbing for expressions.
+type Parser struct {
+	lex *Lexer
+	tok Token
+	err error
+}
+
+// Parse parses a complete source file.
+func Parse(src string) (*File, error) {
+	p := &Parser{lex: NewLexer(src)}
+	p.next()
+	f := &File{}
+	for p.tok.Kind != EOF {
+		switch p.tok.Kind {
+		case KwVar:
+			pos := p.tok.Pos
+			p.next()
+			name := p.expectIdent()
+			p.expect(Semicolon)
+			f.Globals = append(f.Globals, &GlobalDecl{Name: name, Size: 1, Pos: pos})
+		case KwArray:
+			pos := p.tok.Pos
+			p.next()
+			name := p.expectIdent()
+			p.expect(LBracket)
+			size := p.expectNumber()
+			p.expect(RBracket)
+			p.expect(Semicolon)
+			if size <= 0 && p.err == nil {
+				p.err = errf(pos, "array %q must have positive size", name)
+			}
+			f.Globals = append(f.Globals, &GlobalDecl{Name: name, Size: size, Array: true, Pos: pos})
+		case KwProc:
+			f.Procs = append(f.Procs, p.parseProc())
+		default:
+			return nil, errf(p.tok.Pos, "expected declaration, got %s", p.tok.Kind)
+		}
+		if p.err != nil {
+			return nil, p.err
+		}
+	}
+	if len(f.Procs) == 0 {
+		return nil, errf(Pos{1, 1}, "no procedures defined")
+	}
+	return f, nil
+}
+
+func (p *Parser) next() {
+	if p.err != nil {
+		p.tok = Token{Kind: EOF, Pos: p.tok.Pos}
+		return
+	}
+	t, err := p.lex.Next()
+	if err != nil {
+		p.err = err
+		p.tok = Token{Kind: EOF, Pos: p.tok.Pos}
+		return
+	}
+	p.tok = t
+}
+
+func (p *Parser) fail(pos Pos, format string, args ...any) {
+	if p.err == nil {
+		p.err = errf(pos, format, args...)
+	}
+}
+
+func (p *Parser) expect(k Kind) Token {
+	t := p.tok
+	if t.Kind != k {
+		p.fail(t.Pos, "expected %s, got %s", k, t.Kind)
+		return t
+	}
+	p.next()
+	return t
+}
+
+func (p *Parser) expectIdent() string {
+	t := p.expect(IDENT)
+	return t.Text
+}
+
+func (p *Parser) expectNumber() int64 {
+	t := p.expect(NUMBER)
+	return t.Val
+}
+
+func (p *Parser) parseProc() *ProcDecl {
+	pos := p.tok.Pos
+	p.expect(KwProc)
+	name := p.expectIdent()
+	p.expect(LParen)
+	var params []string
+	if p.tok.Kind != RParen {
+		for {
+			params = append(params, p.expectIdent())
+			if p.tok.Kind != Comma {
+				break
+			}
+			p.next()
+		}
+	}
+	p.expect(RParen)
+	body := p.parseBlock()
+	return &ProcDecl{Name: name, Params: params, Body: body, Pos: pos}
+}
+
+func (p *Parser) parseBlock() *BlockStmt {
+	pos := p.tok.Pos
+	p.expect(LBrace)
+	b := &BlockStmt{Pos: pos}
+	for p.tok.Kind != RBrace && p.tok.Kind != EOF {
+		b.Stmts = append(b.Stmts, p.parseStmt())
+		if p.err != nil {
+			break
+		}
+	}
+	p.expect(RBrace)
+	return b
+}
+
+func (p *Parser) parseStmt() Stmt {
+	pos := p.tok.Pos
+	switch p.tok.Kind {
+	case LBrace:
+		return p.parseBlock()
+	case KwVar:
+		p.next()
+		name := p.expectIdent()
+		var init Expr
+		if p.tok.Kind == Assign {
+			p.next()
+			init = p.parseExpr()
+		}
+		p.expect(Semicolon)
+		return &VarStmt{Name: name, Init: init, Pos: pos}
+	case KwIf:
+		p.next()
+		p.expect(LParen)
+		cond := p.parseExpr()
+		p.expect(RParen)
+		then := p.parseBlock()
+		var els Stmt
+		if p.tok.Kind == KwElse {
+			p.next()
+			if p.tok.Kind == KwIf {
+				els = p.parseStmt()
+			} else {
+				els = p.parseBlock()
+			}
+		}
+		return &IfStmt{Cond: cond, Then: then, Else: els, Pos: pos}
+	case KwWhile:
+		p.next()
+		p.expect(LParen)
+		cond := p.parseExpr()
+		p.expect(RParen)
+		body := p.parseBlock()
+		return &WhileStmt{Cond: cond, Body: body, Pos: pos}
+	case KwFor:
+		p.next()
+		p.expect(LParen)
+		var init, post Stmt
+		var cond Expr
+		if p.tok.Kind != Semicolon {
+			init = p.parseSimpleStmt()
+		}
+		p.expect(Semicolon)
+		if p.tok.Kind != Semicolon {
+			cond = p.parseExpr()
+		}
+		p.expect(Semicolon)
+		if p.tok.Kind != RParen {
+			post = p.parseSimpleStmtNoSemi()
+		}
+		p.expect(RParen)
+		body := p.parseBlock()
+		return &ForStmt{Init: init, Cond: cond, Post: post, Body: body, Pos: pos}
+	case KwReturn:
+		p.next()
+		var v Expr
+		if p.tok.Kind != Semicolon {
+			v = p.parseExpr()
+		}
+		p.expect(Semicolon)
+		return &ReturnStmt{Value: v, Pos: pos}
+	case KwBreak:
+		p.next()
+		p.expect(Semicolon)
+		return &BreakStmt{Pos: pos}
+	case KwContinue:
+		p.next()
+		p.expect(Semicolon)
+		return &ContinueStmt{Pos: pos}
+	case KwOut:
+		p.next()
+		p.expect(LParen)
+		x := p.parseExpr()
+		p.expect(RParen)
+		p.expect(Semicolon)
+		return &OutStmt{X: x, Pos: pos}
+	default:
+		s := p.parseSimpleStmt()
+		p.expect(Semicolon)
+		return s
+	}
+}
+
+// parseSimpleStmt parses an assignment or expression statement (without the
+// trailing semicolon) — the forms allowed in for-clauses.
+func (p *Parser) parseSimpleStmt() Stmt {
+	if p.tok.Kind == KwVar {
+		pos := p.tok.Pos
+		p.next()
+		name := p.expectIdent()
+		p.expect(Assign)
+		init := p.parseExpr()
+		return &VarStmt{Name: name, Init: init, Pos: pos}
+	}
+	return p.parseSimpleStmtNoSemi()
+}
+
+func (p *Parser) parseSimpleStmtNoSemi() Stmt {
+	pos := p.tok.Pos
+	if p.tok.Kind != IDENT {
+		x := p.parseExpr()
+		return &ExprStmt{X: x, Pos: pos}
+	}
+	name := p.tok.Text
+	p.next()
+	switch p.tok.Kind {
+	case Assign:
+		p.next()
+		v := p.parseExpr()
+		return &AssignStmt{Name: name, Value: v, Pos: pos}
+	case LBracket:
+		p.next()
+		idx := p.parseExpr()
+		p.expect(RBracket)
+		p.expect(Assign)
+		v := p.parseExpr()
+		return &AssignStmt{Name: name, Index: idx, Value: v, Pos: pos}
+	case LParen:
+		p.next()
+		args := p.parseCallArgs()
+		return &ExprStmt{X: &CallExpr{Name: name, Args: args, Pos: pos}, Pos: pos}
+	default:
+		p.fail(p.tok.Pos, "expected assignment or call after %q", name)
+		return &ExprStmt{X: &IdentExpr{Name: name, Pos: pos}, Pos: pos}
+	}
+}
+
+func (p *Parser) parseCallArgs() []Expr {
+	var args []Expr
+	if p.tok.Kind != RParen {
+		for {
+			args = append(args, p.parseExpr())
+			if p.tok.Kind != Comma {
+				break
+			}
+			p.next()
+		}
+	}
+	p.expect(RParen)
+	return args
+}
+
+// Binary operator precedence, loosest first. Mirrors C except that all
+// comparisons share one level.
+var precTable = map[Kind]int{
+	OrOr:   1,
+	AndAnd: 2,
+	Pipe:   3,
+	Caret:  4,
+	Amp:    5,
+	EqEq:   6, NotEq: 6,
+	Lt: 7, Le: 7, Gt: 7, Ge: 7,
+	Shl: 8, Shr: 8,
+	Plus: 9, Minus: 9,
+	Star: 10, Slash: 10, Percent: 10,
+}
+
+func (p *Parser) parseExpr() Expr { return p.parseBinary(1) }
+
+func (p *Parser) parseBinary(minPrec int) Expr {
+	left := p.parseUnary()
+	for {
+		prec, ok := precTable[p.tok.Kind]
+		if !ok || prec < minPrec {
+			return left
+		}
+		op := p.tok.Kind
+		pos := p.tok.Pos
+		p.next()
+		right := p.parseBinary(prec + 1)
+		left = &BinaryExpr{Op: op, L: left, R: right, Pos: pos}
+	}
+}
+
+func (p *Parser) parseUnary() Expr {
+	pos := p.tok.Pos
+	switch p.tok.Kind {
+	case Minus, Bang, Tilde:
+		op := p.tok.Kind
+		p.next()
+		return &UnaryExpr{Op: op, X: p.parseUnary(), Pos: pos}
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() Expr {
+	pos := p.tok.Pos
+	switch p.tok.Kind {
+	case NUMBER:
+		v := p.tok.Val
+		p.next()
+		return &NumberExpr{Val: v, Pos: pos}
+	case LParen:
+		p.next()
+		x := p.parseExpr()
+		p.expect(RParen)
+		return x
+	case IDENT:
+		name := p.tok.Text
+		p.next()
+		switch p.tok.Kind {
+		case LParen:
+			p.next()
+			args := p.parseCallArgs()
+			return &CallExpr{Name: name, Args: args, Pos: pos}
+		case LBracket:
+			p.next()
+			idx := p.parseExpr()
+			p.expect(RBracket)
+			return &IndexExpr{Name: name, Index: idx, Pos: pos}
+		default:
+			return &IdentExpr{Name: name, Pos: pos}
+		}
+	default:
+		p.fail(pos, "expected expression, got %s", p.tok.Kind)
+		p.next()
+		return &NumberExpr{Val: 0, Pos: pos}
+	}
+}
+
+// MustParse parses src and panics on error (for compiled-in workloads).
+func MustParse(src string) *File {
+	f, err := Parse(src)
+	if err != nil {
+		panic(fmt.Sprintf("lang.MustParse: %v", err))
+	}
+	return f
+}

@@ -1,0 +1,123 @@
+// Package lang implements the frontend (lexer, parser, AST) for the
+// miniature imperative language our synthetic workloads are written in.
+//
+// The language is deliberately small — C-like procedures, while/for loops,
+// if/else, 64-bit integer arithmetic, global scalars and arrays — because
+// the phase-marker analysis only cares about the procedure/loop structure
+// and memory behavior of the compiled code. Every AST node carries source
+// positions; the compiler propagates them into IR block debug info, which
+// is what makes the paper's cross-binary marker mapping (§6.2.1) work.
+package lang
+
+import "fmt"
+
+// Kind enumerates token kinds.
+type Kind uint8
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	IDENT
+	NUMBER
+
+	// Keywords.
+	KwProc
+	KwVar
+	KwArray
+	KwIf
+	KwElse
+	KwWhile
+	KwFor
+	KwReturn
+	KwBreak
+	KwContinue
+	KwOut
+
+	// Punctuation and operators.
+	LParen
+	RParen
+	LBrace
+	RBrace
+	LBracket
+	RBracket
+	Comma
+	Semicolon
+	Assign
+	Plus
+	Minus
+	Star
+	Slash
+	Percent
+	Amp
+	Pipe
+	Caret
+	Tilde
+	Bang
+	Shl
+	Shr
+	Lt
+	Le
+	Gt
+	Ge
+	EqEq
+	NotEq
+	AndAnd
+	OrOr
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", IDENT: "identifier", NUMBER: "number",
+	KwProc: "proc", KwVar: "var", KwArray: "array", KwIf: "if",
+	KwElse: "else", KwWhile: "while", KwFor: "for", KwReturn: "return",
+	KwBreak: "break", KwContinue: "continue", KwOut: "out",
+	LParen: "(", RParen: ")", LBrace: "{", RBrace: "}",
+	LBracket: "[", RBracket: "]", Comma: ",", Semicolon: ";",
+	Assign: "=", Plus: "+", Minus: "-", Star: "*", Slash: "/",
+	Percent: "%", Amp: "&", Pipe: "|", Caret: "^", Tilde: "~",
+	Bang: "!", Shl: "<<", Shr: ">>", Lt: "<", Le: "<=", Gt: ">",
+	Ge: ">=", EqEq: "==", NotEq: "!=", AndAnd: "&&", OrOr: "||",
+}
+
+// String names the token kind as it appears in source.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+var keywords = map[string]Kind{
+	"proc": KwProc, "var": KwVar, "array": KwArray, "if": KwIf,
+	"else": KwElse, "while": KwWhile, "for": KwFor, "return": KwReturn,
+	"break": KwBreak, "continue": KwContinue, "out": KwOut,
+}
+
+// Pos is a 1-based source position.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String renders line:col.
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexeme.
+type Token struct {
+	Kind Kind
+	Text string // identifier spelling or number literal
+	Val  int64  // numeric value for NUMBER
+	Pos  Pos
+}
+
+// Error is a positioned frontend error.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements error.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

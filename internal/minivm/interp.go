@@ -1,0 +1,290 @@
+package minivm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Observer watches a program execute. It is the moral equivalent of the
+// paper's ATOM instrumentation: block executions (with static weights),
+// call/return edges, conditional-branch outcomes, and data memory
+// references. All callbacks are synchronous with execution order.
+//
+// OnBlock fires when a block begins executing; its straight-line
+// instructions and terminator then execute before the next event. OnCall
+// fires after the caller block's OnBlock (the call terminator is the last
+// instruction of that block) and before the callee's entry OnBlock.
+type Observer interface {
+	// OnBlock is invoked once per dynamic execution of b.
+	OnBlock(b *Block)
+	// OnCall is invoked when the call terminator of site transfers to callee.
+	OnCall(site *Block, callee *Proc)
+	// OnReturn is invoked when callee returns to its caller.
+	OnReturn(callee *Proc)
+	// OnBranch reports the outcome of a conditional branch ending block b.
+	OnBranch(b *Block, taken bool)
+	// OnMem reports a data memory reference at byte address addr.
+	OnMem(addr uint64, write bool)
+}
+
+// NopObserver implements Observer with no-ops; embed it to observe only
+// some events.
+type NopObserver struct{}
+
+// OnBlock implements Observer.
+func (NopObserver) OnBlock(*Block) {}
+
+// OnCall implements Observer.
+func (NopObserver) OnCall(*Block, *Proc) {}
+
+// OnReturn implements Observer.
+func (NopObserver) OnReturn(*Proc) {}
+
+// OnBranch implements Observer.
+func (NopObserver) OnBranch(*Block, bool) {}
+
+// OnMem implements Observer.
+func (NopObserver) OnMem(uint64, bool) {}
+
+// MultiObserver fans events out to several observers in order.
+type MultiObserver []Observer
+
+// OnBlock implements Observer.
+func (m MultiObserver) OnBlock(b *Block) {
+	for _, o := range m {
+		o.OnBlock(b)
+	}
+}
+
+// OnCall implements Observer.
+func (m MultiObserver) OnCall(site *Block, callee *Proc) {
+	for _, o := range m {
+		o.OnCall(site, callee)
+	}
+}
+
+// OnReturn implements Observer.
+func (m MultiObserver) OnReturn(callee *Proc) {
+	for _, o := range m {
+		o.OnReturn(callee)
+	}
+}
+
+// OnBranch implements Observer.
+func (m MultiObserver) OnBranch(b *Block, taken bool) {
+	for _, o := range m {
+		o.OnBranch(b, taken)
+	}
+}
+
+// OnMem implements Observer.
+func (m MultiObserver) OnMem(addr uint64, write bool) {
+	for _, o := range m {
+		o.OnMem(addr, write)
+	}
+}
+
+// Runtime errors surfaced by the interpreter.
+var (
+	ErrDivByZero     = errors.New("minivm: division by zero")
+	ErrMemFault      = errors.New("minivm: memory access out of range")
+	ErrStackOverflow = errors.New("minivm: call stack overflow")
+	ErrInstrLimit    = errors.New("minivm: instruction limit exceeded")
+)
+
+// WordBytes is the byte size of one memory word; OnMem addresses are word
+// addresses scaled by WordBytes so cache simulators see byte addresses.
+const WordBytes = 8
+
+// DefaultMaxInstrs bounds runaway executions (inputs are sized well below
+// this in practice).
+const DefaultMaxInstrs = 2_000_000_000
+
+// DefaultMaxDepth bounds the call stack.
+const DefaultMaxDepth = 100_000
+
+// Machine executes a validated Program. The zero value is not usable; use
+// NewMachine.
+type Machine struct {
+	prog      *Program
+	mem       []int64
+	obs       Observer
+	out       []int64
+	instrs    uint64
+	MaxInstrs uint64
+	MaxDepth  int
+	// MarkFunc, when set, receives the ID of every OpMark instruction
+	// executed — the runtime hook behind statically inserted phase
+	// markers (core.Instrument).
+	MarkFunc func(id int64)
+}
+
+// NewMachine builds a machine for prog reporting to obs (nil for none).
+func NewMachine(prog *Program, obs Observer) *Machine {
+	if obs == nil {
+		obs = NopObserver{}
+	}
+	return &Machine{
+		prog:      prog,
+		mem:       make([]int64, prog.GlobalWords),
+		obs:       obs,
+		MaxInstrs: DefaultMaxInstrs,
+		MaxDepth:  DefaultMaxDepth,
+	}
+}
+
+// Instructions reports the number of dynamic instructions executed so far
+// (block weights summed over executed blocks).
+func (m *Machine) Instructions() uint64 { return m.instrs }
+
+// Output returns the values emitted by OpOut, in order.
+func (m *Machine) Output() []int64 { return m.out }
+
+// Mem exposes the data memory (for tests).
+func (m *Machine) Mem() []int64 { return m.mem }
+
+type frame struct {
+	proc   *Proc
+	regs   []int64
+	retBlk int   // caller block index to resume at
+	retReg uint8 // caller register receiving the return value
+}
+
+// Run executes the program's entry procedure with the given arguments
+// (copied into the entry proc's first registers). It returns the entry
+// procedure's return value (0 if it halts without returning).
+func (m *Machine) Run(args ...int64) (int64, error) {
+	entry := m.prog.EntryProc()
+	if len(args) != entry.NumArgs {
+		return 0, fmt.Errorf("minivm: entry %q wants %d args, got %d",
+			entry.Name, entry.NumArgs, len(args))
+	}
+	regs := make([]int64, entry.NumRegs)
+	copy(regs, args)
+	stack := []frame{{proc: entry, regs: regs}}
+	fr := &stack[0]
+	bi := 0
+
+	for {
+		b := fr.proc.Blocks[bi]
+		m.obs.OnBlock(b)
+		m.instrs += uint64(b.Weight())
+		if m.instrs > m.MaxInstrs {
+			return 0, fmt.Errorf("%w (limit %d)", ErrInstrLimit, m.MaxInstrs)
+		}
+		regs := fr.regs
+		for _, in := range b.Instr {
+			switch in.Op {
+			case OpNop:
+			case OpConst:
+				regs[in.A] = in.Imm
+			case OpMov:
+				regs[in.A] = regs[in.B]
+			case OpAdd:
+				regs[in.A] = regs[in.B] + regs[in.C]
+			case OpSub:
+				regs[in.A] = regs[in.B] - regs[in.C]
+			case OpMul:
+				regs[in.A] = regs[in.B] * regs[in.C]
+			case OpDiv:
+				if regs[in.C] == 0 {
+					return 0, fmt.Errorf("%w in %s b%d", ErrDivByZero, fr.proc.Name, b.Index)
+				}
+				regs[in.A] = regs[in.B] / regs[in.C]
+			case OpMod:
+				if regs[in.C] == 0 {
+					return 0, fmt.Errorf("%w in %s b%d", ErrDivByZero, fr.proc.Name, b.Index)
+				}
+				regs[in.A] = regs[in.B] % regs[in.C]
+			case OpAnd:
+				regs[in.A] = regs[in.B] & regs[in.C]
+			case OpOr:
+				regs[in.A] = regs[in.B] | regs[in.C]
+			case OpXor:
+				regs[in.A] = regs[in.B] ^ regs[in.C]
+			case OpShl:
+				regs[in.A] = regs[in.B] << (uint64(regs[in.C]) & 63)
+			case OpShr:
+				regs[in.A] = int64(uint64(regs[in.B]) >> (uint64(regs[in.C]) & 63))
+			case OpNeg:
+				regs[in.A] = -regs[in.B]
+			case OpNot:
+				regs[in.A] = ^regs[in.B]
+			case OpAddI:
+				regs[in.A] = regs[in.B] + in.Imm
+			case OpMulI:
+				regs[in.A] = regs[in.B] * in.Imm
+			case OpLoad:
+				addr := regs[in.B] + in.Imm
+				if addr < 0 || addr >= int64(len(m.mem)) {
+					return 0, fmt.Errorf("%w: load word %d in %s b%d", ErrMemFault, addr, fr.proc.Name, b.Index)
+				}
+				m.obs.OnMem(uint64(addr)*WordBytes, false)
+				regs[in.A] = m.mem[addr]
+			case OpStore:
+				addr := regs[in.B] + in.Imm
+				if addr < 0 || addr >= int64(len(m.mem)) {
+					return 0, fmt.Errorf("%w: store word %d in %s b%d", ErrMemFault, addr, fr.proc.Name, b.Index)
+				}
+				m.obs.OnMem(uint64(addr)*WordBytes, true)
+				m.mem[addr] = regs[in.A]
+			case OpOut:
+				m.out = append(m.out, regs[in.A])
+			case OpMark:
+				if m.MarkFunc != nil {
+					m.MarkFunc(in.Imm)
+				}
+			}
+		}
+
+		t := &b.Term
+		switch t.Kind {
+		case TermJump:
+			bi = t.Target
+		case TermBranch:
+			taken := t.Cond.Eval(regs[t.A], regs[t.B])
+			m.obs.OnBranch(b, taken)
+			if taken {
+				bi = t.Target
+			} else {
+				bi = t.Else
+			}
+		case TermCall:
+			if len(stack) >= m.MaxDepth {
+				return 0, ErrStackOverflow
+			}
+			callee := m.prog.Procs[t.Callee]
+			nregs := make([]int64, callee.NumRegs)
+			for i, a := range t.Args {
+				nregs[i] = regs[a]
+			}
+			m.obs.OnCall(b, callee)
+			stack = append(stack, frame{
+				proc:   callee,
+				regs:   nregs,
+				retBlk: t.Next,
+				retReg: t.Ret,
+			})
+			fr = &stack[len(stack)-1]
+			bi = 0
+		case TermRet:
+			rv := regs[t.Ret]
+			m.obs.OnReturn(fr.proc)
+			if len(stack) == 1 {
+				return rv, nil
+			}
+			retBlk, retReg := fr.retBlk, fr.retReg
+			stack = stack[:len(stack)-1]
+			fr = &stack[len(stack)-1]
+			fr.regs[retReg] = rv
+			bi = retBlk
+		case TermHalt:
+			// Unwind observers for any active frames so profilers see a
+			// balanced call/return stream.
+			for i := len(stack) - 1; i >= 0; i-- {
+				m.obs.OnReturn(stack[i].proc)
+			}
+			return 0, nil
+		}
+	}
+}

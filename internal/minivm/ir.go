@@ -1,0 +1,231 @@
+// Package minivm defines a small register-machine intermediate
+// representation (procedures of basic blocks) and an interpreter for it.
+//
+// It plays the role the Alpha binaries + ATOM instrumentation play in the
+// paper: programs compiled to this IR execute deterministically while an
+// Observer watches basic-block executions, procedure calls and returns,
+// conditional-branch outcomes, and memory references. Loops are not
+// represented explicitly; exactly as in the paper, they are discovered by
+// looking for non-interprocedural backwards branches (see loops.go).
+package minivm
+
+import "fmt"
+
+// NumRegsMax is the maximum register-file size for a procedure.
+const NumRegsMax = 64
+
+// Opcode enumerates straight-line instructions. Control flow lives in
+// block terminators (Term), so every basic block is single-entry,
+// single-exit as in the paper's definition.
+type Opcode uint8
+
+// Straight-line opcodes. Three-address form: A = B op C, with ConstI /
+// AddI / MulI immediate forms so the optimizer can fold constants without
+// materializing them.
+const (
+	OpNop   Opcode = iota
+	OpConst        // A = Imm
+	OpMov          // A = B
+	OpAdd          // A = B + C
+	OpSub          // A = B - C
+	OpMul          // A = B * C
+	OpDiv          // A = B / C (traps on zero)
+	OpMod          // A = B % C (traps on zero)
+	OpAnd          // A = B & C
+	OpOr           // A = B | C
+	OpXor          // A = B ^ C
+	OpShl          // A = B << (C & 63)
+	OpShr          // A = B >> (C & 63) (logical)
+	OpNeg          // A = -B
+	OpNot          // A = ^B
+	OpAddI         // A = B + Imm
+	OpMulI         // A = B * Imm
+	OpLoad         // A = mem[B + Imm]
+	OpStore        // mem[B + Imm] = A
+	OpOut          // emit value of A to the machine's output stream
+	OpMark         // signal software phase marker Imm (inserted instrumentation)
+	opMax
+)
+
+var opNames = [...]string{
+	OpNop: "nop", OpConst: "const", OpMov: "mov", OpAdd: "add", OpSub: "sub",
+	OpMul: "mul", OpDiv: "div", OpMod: "mod", OpAnd: "and", OpOr: "or",
+	OpXor: "xor", OpShl: "shl", OpShr: "shr", OpNeg: "neg", OpNot: "not",
+	OpAddI: "addi", OpMulI: "muli", OpLoad: "load", OpStore: "store",
+	OpOut: "out", OpMark: "mark",
+}
+
+// String returns the assembly mnemonic for the opcode.
+func (o Opcode) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Instr is one straight-line instruction.
+type Instr struct {
+	Op      Opcode
+	A, B, C uint8 // register operands
+	Imm     int64 // immediate (Const, AddI, MulI, Load, Store offsets)
+}
+
+// TermKind enumerates block terminators.
+type TermKind uint8
+
+// Terminator kinds.
+const (
+	TermJump   TermKind = iota // goto Target
+	TermBranch                 // if A cond B goto Target else goto Else
+	TermCall                   // Ret = Callee(Args...); goto Next
+	TermRet                    // return Ret (register)
+	TermHalt                   // stop the machine
+)
+
+// CondOp enumerates branch comparison operators.
+type CondOp uint8
+
+// Branch comparison operators.
+const (
+	CondEQ CondOp = iota
+	CondNE
+	CondLT
+	CondLE
+	CondGT
+	CondGE
+)
+
+var condNames = [...]string{"==", "!=", "<", "<=", ">", ">="}
+
+// String returns the source-level comparison operator.
+func (c CondOp) String() string {
+	if int(c) < len(condNames) {
+		return condNames[c]
+	}
+	return fmt.Sprintf("cond(%d)", uint8(c))
+}
+
+// Eval applies the comparison to two values.
+func (c CondOp) Eval(a, b int64) bool {
+	switch c {
+	case CondEQ:
+		return a == b
+	case CondNE:
+		return a != b
+	case CondLT:
+		return a < b
+	case CondLE:
+		return a <= b
+	case CondGT:
+		return a > b
+	default:
+		return a >= b
+	}
+}
+
+// Term is a block terminator. Field use depends on Kind:
+//
+//	Jump:   Target
+//	Branch: Cond, A, B, Target (taken), Else (not taken)
+//	Call:   Callee (proc index), Args (arg registers), Ret (dest reg), Next
+//	Ret:    Ret (source register)
+//	Halt:   -
+//
+// Target/Else/Next are block indices within the enclosing procedure.
+type Term struct {
+	Kind   TermKind
+	Cond   CondOp
+	A, B   uint8
+	Target int
+	Else   int
+	Callee int
+	Args   []uint8
+	Ret    uint8
+	Next   int
+	// Line/Col are the source position of a call terminator (debug info
+	// for mapping call-site markers across compilations of one source).
+	Line int
+	Col  int
+}
+
+// Block is a single-entry single-exit run of instructions plus one
+// terminator. ID is unique across the whole program (the "static basic
+// block number" BBVs are indexed by); Index is the block's position inside
+// its procedure, which defines the backwards-branch ordering used for loop
+// discovery.
+type Block struct {
+	ID    int
+	Index int
+	Proc  *Proc
+	Instr []Instr
+	Term  Term
+	Line  int // source line of the block's first statement (debug info)
+	Col   int // source column (debug info)
+}
+
+// Weight is the block's instruction count: its straight-line instructions
+// plus the terminator. BBV entries are execution count times Weight, per
+// the paper's size-weighted basic block vectors.
+func (b *Block) Weight() int { return len(b.Instr) + 1 }
+
+// Proc is a procedure: a register file size, an argument count, and a list
+// of basic blocks; execution begins at block 0.
+type Proc struct {
+	Name    string
+	ID      int // index in Program.Procs
+	NumArgs int
+	NumRegs int
+	Blocks  []*Block
+	Line    int // source line of the declaration (debug info)
+}
+
+// Program is a compiled unit. Entry names the procedure started by
+// Machine.Run; GlobalWords is the size of the flat data memory in 8-byte
+// words (arrays are laid out here by the compiler).
+type Program struct {
+	Procs       []*Proc
+	Entry       int
+	GlobalWords int
+	NumBlocks   int // total static blocks; block IDs are in [0, NumBlocks)
+}
+
+// Proc returns the procedure named name, or nil if absent.
+func (p *Program) Proc(name string) *Proc {
+	for _, pr := range p.Procs {
+		if pr.Name == name {
+			return pr
+		}
+	}
+	return nil
+}
+
+// EntryProc returns the entry procedure.
+func (p *Program) EntryProc() *Proc { return p.Procs[p.Entry] }
+
+// BlockByID returns the block with the given global static ID, or nil.
+func (p *Program) BlockByID(id int) *Block {
+	for _, pr := range p.Procs {
+		for _, b := range pr.Blocks {
+			if b.ID == id {
+				return b
+			}
+		}
+	}
+	return nil
+}
+
+// RenumberBlocks assigns consecutive global IDs to all blocks in program
+// order and sets NumBlocks. Compilers call it after any pass that adds or
+// removes blocks.
+func (p *Program) RenumberBlocks() {
+	id := 0
+	for _, pr := range p.Procs {
+		for i, b := range pr.Blocks {
+			b.ID = id
+			b.Index = i
+			b.Proc = pr
+			id++
+		}
+	}
+	p.NumBlocks = id
+}

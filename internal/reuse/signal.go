@@ -1,0 +1,129 @@
+package reuse
+
+import (
+	"math"
+
+	"phasemark/internal/minivm"
+)
+
+// Sample is one window of the reuse-distance signal.
+type Sample struct {
+	Instr   uint64  // dynamic instruction count at window end
+	MeanLog float64 // mean log2(1+distance) over the window's accesses
+	Cold    int     // cold (first-touch) accesses in the window
+	Count   int     // accesses in the window
+}
+
+// SignalCollector builds the windowed reuse-distance signal from an
+// execution. It implements minivm.Observer.
+type SignalCollector struct {
+	minivm.NopObserver
+	dist    *Distances
+	window  int
+	instrs  uint64
+	sumLog  float64
+	cold    int
+	count   int
+	Samples []Sample
+}
+
+// NewSignalCollector samples the reuse-distance stream every window
+// accesses at the given cache-block granularity.
+func NewSignalCollector(blockBytes, window int) *SignalCollector {
+	if window <= 0 {
+		window = 1024
+	}
+	return &SignalCollector{dist: NewDistances(blockBytes), window: window}
+}
+
+// OnBlock implements minivm.Observer.
+func (s *SignalCollector) OnBlock(b *minivm.Block) { s.instrs += uint64(b.Weight()) }
+
+// OnMem implements minivm.Observer.
+func (s *SignalCollector) OnMem(addr uint64, write bool) {
+	d, cold := s.dist.Access(addr)
+	if cold {
+		s.cold++
+	}
+	s.sumLog += math.Log2(1 + float64(d))
+	s.count++
+	if s.count >= s.window {
+		s.flush()
+	}
+}
+
+func (s *SignalCollector) flush() {
+	if s.count == 0 {
+		return
+	}
+	s.Samples = append(s.Samples, Sample{
+		Instr:   s.instrs,
+		MeanLog: s.sumLog / float64(s.count),
+		Cold:    s.cold,
+		Count:   s.count,
+	})
+	s.sumLog, s.cold, s.count = 0, 0, 0
+}
+
+// Finish flushes a trailing partial window.
+func (s *SignalCollector) Finish() { s.flush() }
+
+// HaarSmooth applies `levels` rounds of pairwise Haar averaging and
+// reconstructs a signal of the original length — the coarse approximation
+// the wavelet analysis in [23] filters on. Each level halves resolution.
+func HaarSmooth(x []float64, levels int) []float64 {
+	cur := append([]float64(nil), x...)
+	n := len(cur)
+	for l := 0; l < levels && n > 1; l++ {
+		half := (n + 1) / 2
+		next := make([]float64, half)
+		for i := 0; i < half; i++ {
+			a := cur[2*i]
+			b := a
+			if 2*i+1 < n {
+				b = cur[2*i+1]
+			}
+			next[i] = (a + b) / 2
+		}
+		cur = next
+		n = half
+	}
+	// Upsample back to the original length (piecewise constant).
+	out := make([]float64, len(x))
+	scale := float64(len(cur)) / float64(len(x))
+	for i := range out {
+		j := int(float64(i) * scale)
+		if j >= len(cur) {
+			j = len(cur) - 1
+		}
+		out[i] = cur[j]
+	}
+	return out
+}
+
+// Boundaries finds phase-change points in the smoothed signal: indices
+// where the smoothed value jumps by more than relThreshold times the
+// signal's dynamic range, with at least minGap samples between boundaries.
+func Boundaries(smoothed []float64, relThreshold float64, minGap int) []int {
+	if len(smoothed) < 2 {
+		return nil
+	}
+	lo, hi := smoothed[0], smoothed[0]
+	for _, v := range smoothed {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	span := hi - lo
+	if span == 0 {
+		return nil
+	}
+	var out []int
+	last := -minGap - 1
+	for i := 1; i < len(smoothed); i++ {
+		if math.Abs(smoothed[i]-smoothed[i-1]) >= relThreshold*span && i-last > minGap {
+			out = append(out, i)
+			last = i
+		}
+	}
+	return out
+}

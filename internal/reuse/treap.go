@@ -1,0 +1,148 @@
+// Package reuse implements the data-locality baseline the paper compares
+// against (Shen, Zhong, Ding — "Locality phase prediction", §2.4/§6.1):
+// exact LRU reuse (stack) distances computed with an order-statistic tree,
+// a windowed reuse-distance signal with multi-scale (Haar) smoothing,
+// boundary detection on that signal, and selection of basic blocks whose
+// executions correlate with the boundaries — the "reuse-distance software
+// phase markers".
+package reuse
+
+import "phasemark/internal/stats"
+
+// treap is an order-statistic treap keyed by access timestamp. Keys are
+// inserted in increasing order (each access gets a fresh timestamp) and
+// removed arbitrarily; CountGreater answers "how many distinct blocks were
+// accessed more recently than t" — the LRU stack distance.
+type treap struct {
+	root *tnode
+	rng  *stats.RNG
+}
+
+type tnode struct {
+	key   uint64
+	prio  uint64
+	size  int
+	left  *tnode
+	right *tnode
+}
+
+func newTreap(seed uint64) *treap {
+	return &treap{rng: stats.NewRNG(seed)}
+}
+
+func size(n *tnode) int {
+	if n == nil {
+		return 0
+	}
+	return n.size
+}
+
+func (n *tnode) update() { n.size = 1 + size(n.left) + size(n.right) }
+
+// split partitions by key: left has keys < k, right has keys >= k.
+func split(n *tnode, k uint64) (l, r *tnode) {
+	if n == nil {
+		return nil, nil
+	}
+	if n.key < k {
+		l2, r2 := split(n.right, k)
+		n.right = l2
+		n.update()
+		return n, r2
+	}
+	l2, r2 := split(n.left, k)
+	n.left = r2
+	n.update()
+	return l2, n
+}
+
+func merge(l, r *tnode) *tnode {
+	switch {
+	case l == nil:
+		return r
+	case r == nil:
+		return l
+	case l.prio >= r.prio:
+		l.right = merge(l.right, r)
+		l.update()
+		return l
+	default:
+		r.left = merge(l, r.left)
+		r.update()
+		return r
+	}
+}
+
+// Insert adds key k (must not be present).
+func (t *treap) Insert(k uint64) {
+	n := &tnode{key: k, prio: t.rng.Uint64(), size: 1}
+	l, r := split(t.root, k)
+	t.root = merge(merge(l, n), r)
+}
+
+// Delete removes key k if present; reports whether it was found.
+func (t *treap) Delete(k uint64) bool {
+	l, r := split(t.root, k)
+	m, r2 := split(r, k+1)
+	t.root = merge(l, r2)
+	return m != nil
+}
+
+// CountGreater reports how many keys are strictly greater than k.
+func (t *treap) CountGreater(k uint64) int {
+	n := t.root
+	cnt := 0
+	for n != nil {
+		if n.key > k {
+			cnt += 1 + size(n.right)
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return cnt
+}
+
+// Len reports the number of keys stored.
+func (t *treap) Len() int { return size(t.root) }
+
+// Distances computes exact LRU stack distances over a stream of block
+// addresses. Access returns the reuse distance (number of distinct blocks
+// touched since the previous access to this block) and cold=true for first
+// accesses.
+type Distances struct {
+	t    *treap
+	last map[uint64]uint64 // block -> last access time
+	now  uint64
+	// BlockBytes sets the granularity distances are measured at (cache
+	// block granularity, matching the cache the phases will reconfigure).
+	blockBytes uint64
+}
+
+// NewDistances builds a tracker at the given block granularity.
+func NewDistances(blockBytes int) *Distances {
+	return &Distances{
+		t:          newTreap(0x9e3779b97f4a7c15),
+		last:       map[uint64]uint64{},
+		blockBytes: uint64(blockBytes),
+	}
+}
+
+// Access records a byte-address access and returns its reuse distance.
+func (d *Distances) Access(addr uint64) (dist int, cold bool) {
+	blk := addr / d.blockBytes
+	d.now++
+	t, seen := d.last[blk]
+	if seen {
+		dist = d.t.CountGreater(t)
+		d.t.Delete(t)
+	} else {
+		cold = true
+	}
+	d.t.Insert(d.now)
+	d.last[blk] = d.now
+	return dist, cold
+}
+
+// Distinct reports the number of distinct blocks seen so far.
+func (d *Distances) Distinct() int { return d.t.Len() }

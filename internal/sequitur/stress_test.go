@@ -1,0 +1,40 @@
+package sequitur
+
+import (
+	"testing"
+
+	"phasemark/internal/stats"
+)
+
+func TestStressLongTraces(t *testing.T) {
+	for seed := uint64(0); seed < 6; seed++ {
+		r := stats.NewRNG(seed*77 + 1)
+		n := 60_000
+		seq := make([]int, 0, n)
+		// Phase-structured trace: repeated motifs with noise.
+		motifs := [][]int{{1, 2, 3}, {4, 5}, {6, 7, 8, 9}}
+		for len(seq) < n {
+			m := motifs[r.Intn(3)]
+			reps := r.Intn(20) + 1
+			for k := 0; k < reps && len(seq) < n; k++ {
+				seq = append(seq, m...)
+			}
+			if r.Intn(4) == 0 {
+				seq = append(seq, r.Intn(30))
+			}
+		}
+		g := Build(seq)
+		if err := g.CheckInvariants(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		out := g.Expand()
+		for i := range seq {
+			if out[i] != seq[i] {
+				t.Fatalf("seed %d: expansion diverges at %d", seed, i)
+			}
+		}
+		if g.CompressionRatio() < 3 {
+			t.Fatalf("seed %d: ratio %.2f too low for motif trace", seed, g.CompressionRatio())
+		}
+	}
+}

@@ -1,0 +1,278 @@
+// Package simpoint reimplements the SimPoint phase-classification tool the
+// paper builds on: basic block vectors are randomly projected to a few
+// dimensions and clustered with (weighted) k-means; the number of clusters
+// is chosen with the Bayesian Information Criterion; one simulation point
+// is picked per cluster (the interval closest to the centroid) and the
+// cluster weights estimate whole-program metrics from the points alone.
+//
+// Interval weights make this the SimPoint 3.0 VLI variant (§5.2, [15]):
+// with variable-length intervals each interval represents a different
+// fraction of execution, so distances to centroids and BIC likelihoods are
+// weighted by instruction mass.
+package simpoint
+
+import (
+	"math"
+
+	"phasemark/internal/stats"
+)
+
+// Options configures clustering.
+type Options struct {
+	KMax       int     // largest k tried (paper: 10 for 10M, 30 for 1M fixed, 100/others per config)
+	Dims       int     // projection dimensionality (paper: 15)
+	Seed       uint64  // RNG seed for projection and seeding
+	Restarts   int     // k-means restarts per k (default 3)
+	MaxIters   int     // k-means iteration cap (default 60)
+	BICPercent float64 // pick smallest k with normalized BIC >= this (default 0.9)
+	ForceK     int     // when > 0, skip model selection and use exactly this k
+}
+
+func (o Options) restarts() int {
+	if o.Restarts <= 0 {
+		return 3
+	}
+	return o.Restarts
+}
+
+func (o Options) maxIters() int {
+	if o.MaxIters <= 0 {
+		return 60
+	}
+	return o.MaxIters
+}
+
+func (o Options) bicPercent() float64 {
+	if o.BICPercent <= 0 || o.BICPercent > 1 {
+		return 0.9
+	}
+	return o.BICPercent
+}
+
+// Clustering is the result of k-means phase classification.
+type Clustering struct {
+	K       int
+	Assign  []int       // point index -> cluster
+	Centers [][]float64 // K centroids
+	Weights []float64   // fraction of total instruction mass per cluster
+	BIC     float64
+
+	points [][]float64 // cached projected points (set by Classify)
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// kmeansOnce runs weighted k-means from a k-means++ seeding.
+func kmeansOnce(points [][]float64, weights []float64, k int, rng *stats.RNG, maxIters int) ([]int, [][]float64, float64) {
+	n := len(points)
+	d := len(points[0])
+	centers := make([][]float64, 0, k)
+
+	// k-means++ seeding (weighted by point mass times distance).
+	first := rng.Intn(n)
+	centers = append(centers, append([]float64(nil), points[first]...))
+	dist := make([]float64, n)
+	for len(centers) < k {
+		var total float64
+		for i, p := range points {
+			dist[i] = math.Inf(1)
+			for _, c := range centers {
+				if q := sqDist(p, c); q < dist[i] {
+					dist[i] = q
+				}
+			}
+			total += dist[i] * weights[i]
+		}
+		if total == 0 {
+			// All remaining points coincide with centers; duplicate one.
+			centers = append(centers, append([]float64(nil), points[rng.Intn(n)]...))
+			continue
+		}
+		r := rng.Float64() * total
+		pick := n - 1
+		var acc float64
+		for i := range points {
+			acc += dist[i] * weights[i]
+			if acc >= r {
+				pick = i
+				break
+			}
+		}
+		centers = append(centers, append([]float64(nil), points[pick]...))
+	}
+
+	assign := make([]int, n)
+	for iter := 0; iter < maxIters; iter++ {
+		changed := false
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c := range centers {
+				if q := sqDist(p, centers[c]); q < bestD {
+					best, bestD = c, q
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		// Weighted centroid update.
+		sums := make([][]float64, k)
+		mass := make([]float64, k)
+		for c := range sums {
+			sums[c] = make([]float64, d)
+		}
+		for i, p := range points {
+			c := assign[i]
+			mass[c] += weights[i]
+			for j, x := range p {
+				sums[c][j] += x * weights[i]
+			}
+		}
+		for c := range centers {
+			if mass[c] == 0 {
+				// Re-seed an empty cluster at the most isolated point.
+				far, farD := 0, -1.0
+				for i, p := range points {
+					if q := sqDist(p, centers[assign[i]]); q > farD {
+						far, farD = i, q
+					}
+				}
+				copy(centers[c], points[far])
+				continue
+			}
+			for j := range centers[c] {
+				centers[c][j] = sums[c][j] / mass[c]
+			}
+		}
+	}
+	var sse float64
+	for i, p := range points {
+		sse += weights[i] * sqDist(p, centers[assign[i]])
+	}
+	return assign, centers, sse
+}
+
+// bicScore computes the Pelleg–Moore (X-means) BIC for a clustering, with
+// interval weights acting as fractional point counts.
+func bicScore(points [][]float64, weights []float64, assign []int, centers [][]float64) float64 {
+	k := len(centers)
+	d := float64(len(points[0]))
+	var r float64
+	rn := make([]float64, k)
+	var sse float64
+	for i, p := range points {
+		r += weights[i]
+		rn[assign[i]] += weights[i]
+		sse += weights[i] * sqDist(p, centers[assign[i]])
+	}
+	if r <= float64(k) {
+		return math.Inf(-1)
+	}
+	variance := sse / (r - float64(k))
+	if variance <= 0 {
+		variance = 1e-12
+	}
+	var ll float64
+	for c := 0; c < k; c++ {
+		if rn[c] <= 0 {
+			continue
+		}
+		ll += rn[c]*math.Log(rn[c]/r) -
+			rn[c]*d/2*math.Log(2*math.Pi*variance) -
+			(rn[c]-1)*d/2
+	}
+	params := float64(k)*(d+1) + 1
+	return ll - params/2*math.Log(r)
+}
+
+// Cluster classifies the projected points. weights is the instruction mass
+// of each point (nil for uniform). It tries k = 1..KMax, scores each best
+// restart with BIC, and returns the smallest k whose normalized BIC
+// reaches BICPercent of the observed range — SimPoint's model selection.
+func Cluster(points [][]float64, weights []float64, opts Options) *Clustering {
+	n := len(points)
+	if n == 0 {
+		return &Clustering{}
+	}
+	if weights == nil {
+		weights = make([]float64, n)
+		for i := range weights {
+			weights[i] = 1
+		}
+	}
+	kmax := opts.KMax
+	if kmax <= 0 {
+		kmax = 10
+	}
+	if kmax > n {
+		kmax = n
+	}
+	kmin := 1
+	if opts.ForceK > 0 {
+		kmin = opts.ForceK
+		kmax = opts.ForceK
+		if kmax > n {
+			kmin, kmax = n, n
+		}
+	}
+	rng := stats.NewRNG(opts.Seed ^ 0x51e0b6c4d5a3f7e9)
+
+	type result struct {
+		c   Clustering
+		bic float64
+	}
+	results := make([]result, 0, kmax)
+	for k := kmin; k <= kmax; k++ {
+		bestSSE := math.Inf(1)
+		var best Clustering
+		for rs := 0; rs < opts.restarts(); rs++ {
+			assign, centers, sse := kmeansOnce(points, weights, k, rng, opts.maxIters())
+			if sse < bestSSE {
+				bestSSE = sse
+				best = Clustering{K: k, Assign: assign, Centers: centers}
+			}
+		}
+		best.BIC = bicScore(points, weights, best.Assign, best.Centers)
+		results = append(results, result{c: best, bic: best.BIC})
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, r := range results {
+		lo = math.Min(lo, r.bic)
+		hi = math.Max(hi, r.bic)
+	}
+	chosen := &results[len(results)-1].c
+	if hi > lo {
+		for i := range results {
+			if (results[i].bic-lo)/(hi-lo) >= opts.bicPercent() {
+				chosen = &results[i].c
+				break
+			}
+		}
+	} else {
+		chosen = &results[0].c
+	}
+	// Cluster weights by instruction mass.
+	chosen.Weights = make([]float64, chosen.K)
+	var total float64
+	for i, c := range chosen.Assign {
+		chosen.Weights[c] += weights[i]
+		total += weights[i]
+	}
+	if total > 0 {
+		for c := range chosen.Weights {
+			chosen.Weights[c] /= total
+		}
+	}
+	return chosen
+}

@@ -1,0 +1,130 @@
+package simpoint
+
+import (
+	"math"
+	"sort"
+
+	"phasemark/internal/stats"
+	"phasemark/internal/trace"
+)
+
+// Point is one chosen simulation point: the representative interval of a
+// cluster and the fraction of execution it stands for.
+type Point struct {
+	Cluster  int
+	Interval int
+	Weight   float64
+}
+
+// PickPoints selects, for each cluster, the interval closest to the
+// centroid (ties to the earlier interval, favoring early simulation
+// points as in [22]).
+func PickPoints(c *Clustering, points [][]float64) []Point {
+	best := make([]int, c.K)
+	bestD := make([]float64, c.K)
+	for i := range best {
+		best[i] = -1
+		bestD[i] = math.Inf(1)
+	}
+	for i, p := range points {
+		cl := c.Assign[i]
+		if d := sqDist(p, c.Centers[cl]); d < bestD[cl] {
+			best[cl], bestD[cl] = i, d
+		}
+	}
+	var out []Point
+	for cl := 0; cl < c.K; cl++ {
+		if best[cl] < 0 {
+			continue
+		}
+		out = append(out, Point{Cluster: cl, Interval: best[cl], Weight: c.Weights[cl]})
+	}
+	return out
+}
+
+// Filter keeps the heaviest points until they cover at least the given
+// fraction of execution, renormalizing weights — the 95%/99% coverage
+// optimization that trades accuracy for simulation time.
+func Filter(pts []Point, coverage float64) []Point {
+	sorted := append([]Point(nil), pts...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Weight > sorted[j].Weight })
+	var kept []Point
+	var acc float64
+	for _, p := range sorted {
+		kept = append(kept, p)
+		acc += p.Weight
+		if acc >= coverage {
+			break
+		}
+	}
+	if acc > 0 {
+		for i := range kept {
+			kept[i].Weight /= acc
+		}
+	}
+	return kept
+}
+
+// Estimate is the SimPoint evaluation for one configuration.
+type Estimate struct {
+	Points        []Point
+	SimulatedIns  uint64  // instructions that must be simulated in detail
+	EstimatedCPI  float64 // weighted CPI over the simulation points
+	TrueCPI       float64
+	RelativeError float64 // |est - true| / true
+	K             int
+}
+
+// Evaluate computes what simulating only the chosen points would report:
+// the weighted CPI estimate, its relative error against the full run, and
+// the detailed-simulation cost in instructions.
+func Evaluate(pts []Point, ivs []*trace.Interval, trueCPI float64, k int) Estimate {
+	var est Estimate
+	est.Points = pts
+	est.K = k
+	est.TrueCPI = trueCPI
+	var cpi float64
+	var wsum float64
+	for _, p := range pts {
+		iv := ivs[p.Interval]
+		est.SimulatedIns += iv.Len()
+		cpi += p.Weight * iv.CPI()
+		wsum += p.Weight
+	}
+	if wsum > 0 {
+		est.EstimatedCPI = cpi / wsum
+	}
+	if trueCPI > 0 {
+		est.RelativeError = math.Abs(est.EstimatedCPI-trueCPI) / trueCPI
+	}
+	return est
+}
+
+// ProjectIntervals projects interval BBVs to dims dimensions and returns
+// the point matrix plus per-point instruction weights.
+func ProjectIntervals(ivs []*trace.Interval, numBlocks, dims int, seed uint64) (pts [][]float64, weights []float64) {
+	proj := stats.NewProjection(numBlocks, dims, seed)
+	pts = make([][]float64, len(ivs))
+	weights = make([]float64, len(ivs))
+	for i, iv := range ivs {
+		pts[i] = iv.BBV.Project(proj)
+		weights[i] = float64(iv.Len())
+	}
+	return pts, weights
+}
+
+// Classify runs the full SimPoint pipeline over measured intervals:
+// project, cluster, and return the clustering (phase IDs per interval).
+func Classify(res *trace.Result, opts Options) *Clustering {
+	if opts.Dims <= 0 {
+		opts.Dims = 15
+	}
+	pts, weights := ProjectIntervals(res.Intervals, res.NumBlocks, opts.Dims, opts.Seed)
+	c := Cluster(pts, weights, opts)
+	c.points = pts
+	return c
+}
+
+// Points returns the projected points cached by Classify (nil if the
+// clustering came from Cluster directly).
+func (c *Clustering) Points() [][]float64 { return c.points }

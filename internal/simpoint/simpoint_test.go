@@ -1,0 +1,212 @@
+package simpoint
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"phasemark/internal/stats"
+	"phasemark/internal/trace"
+	"phasemark/internal/uarch"
+)
+
+// blobs generates n points per center around the given centers.
+func blobs(centers [][]float64, n int, spread float64, seed uint64) ([][]float64, []int) {
+	r := stats.NewRNG(seed)
+	var pts [][]float64
+	var labels []int
+	for ci, c := range centers {
+		for i := 0; i < n; i++ {
+			p := make([]float64, len(c))
+			for j := range p {
+				p[j] = c[j] + r.NormFloat64()*spread
+			}
+			pts = append(pts, p)
+			labels = append(labels, ci)
+		}
+	}
+	return pts, labels
+}
+
+func TestKMeansRecoversWellSeparatedClusters(t *testing.T) {
+	centers := [][]float64{{0, 0}, {10, 0}, {0, 10}, {10, 10}}
+	pts, labels := blobs(centers, 30, 0.3, 1)
+	cl := Cluster(pts, nil, Options{KMax: 8, Seed: 2})
+	if cl.K != 4 {
+		t.Fatalf("BIC chose k=%d, want 4", cl.K)
+	}
+	// All points with the same true label must share a cluster.
+	byLabel := map[int]int{}
+	for i, lab := range labels {
+		if prev, ok := byLabel[lab]; ok {
+			if cl.Assign[i] != prev {
+				t.Fatalf("label %d split across clusters", lab)
+			}
+		} else {
+			byLabel[lab] = cl.Assign[i]
+		}
+	}
+}
+
+func TestClusterWeightsSumToOne(t *testing.T) {
+	centers := [][]float64{{0, 0}, {5, 5}}
+	pts, _ := blobs(centers, 20, 0.2, 3)
+	w := make([]float64, len(pts))
+	for i := range w {
+		w[i] = float64(i + 1)
+	}
+	cl := Cluster(pts, w, Options{KMax: 4, Seed: 4})
+	var sum float64
+	for _, x := range cl.Weights {
+		sum += x
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("weights sum to %v", sum)
+	}
+}
+
+func TestWeightsDominateCentroids(t *testing.T) {
+	// Two points, one with overwhelming weight: with k=1 the centroid
+	// must sit almost on the heavy point.
+	pts := [][]float64{{0}, {10}}
+	cl := Cluster(pts, []float64{1000, 1}, Options{ForceK: 1, Seed: 5})
+	if cl.Centers[0][0] > 0.1 {
+		t.Fatalf("weighted centroid at %v, want near 0", cl.Centers[0][0])
+	}
+}
+
+func TestForceK(t *testing.T) {
+	pts, _ := blobs([][]float64{{0, 0}, {10, 10}}, 10, 0.1, 6)
+	for _, k := range []int{1, 2, 3, 5} {
+		cl := Cluster(pts, nil, Options{ForceK: k, Seed: 7})
+		if cl.K != k {
+			t.Errorf("ForceK=%d gave k=%d", k, cl.K)
+		}
+	}
+}
+
+func TestClusterDegenerateInputs(t *testing.T) {
+	if cl := Cluster(nil, nil, Options{}); cl.K != 0 {
+		t.Error("empty input")
+	}
+	// All-identical points: must not loop or crash; k collapses to 1.
+	pts := make([][]float64, 20)
+	for i := range pts {
+		pts[i] = []float64{1, 2, 3}
+	}
+	cl := Cluster(pts, nil, Options{KMax: 5, Seed: 1})
+	if cl.K != 1 {
+		t.Errorf("identical points clustered into k=%d", cl.K)
+	}
+	// Fewer points than KMax.
+	cl2 := Cluster(pts[:3], nil, Options{KMax: 50, Seed: 1})
+	if cl2.K > 3 {
+		t.Errorf("k=%d exceeds point count", cl2.K)
+	}
+}
+
+func TestClusterDeterminism(t *testing.T) {
+	pts, _ := blobs([][]float64{{0, 0}, {8, 8}, {0, 8}}, 15, 0.4, 9)
+	a := Cluster(pts, nil, Options{KMax: 6, Seed: 42})
+	b := Cluster(pts, nil, Options{KMax: 6, Seed: 42})
+	if a.K != b.K {
+		t.Fatal("nondeterministic k")
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("nondeterministic assignment")
+		}
+	}
+}
+
+// Property: every point is assigned to its nearest center after k-means
+// converges.
+func TestAssignmentIsNearestCenter(t *testing.T) {
+	f := func(seed uint64) bool {
+		pts, _ := blobs([][]float64{{0, 0}, {6, 6}}, 12, 0.5, seed)
+		cl := Cluster(pts, nil, Options{KMax: 4, Seed: seed})
+		for i, p := range pts {
+			best, bestD := -1, math.Inf(1)
+			for c := range cl.Centers {
+				if d := sqDist(p, cl.Centers[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if sqDist(p, cl.Centers[cl.Assign[i]]) > bestD+1e-9 && best != cl.Assign[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mkInterval(idx int, start, length, cycles uint64) *trace.Interval {
+	return &trace.Interval{
+		Index: idx,
+		Start: start,
+		End:   start + length,
+		Perf:  uarch.Counters{Instrs: length, Cycles: cycles},
+	}
+}
+
+func TestPickPointsAndEvaluate(t *testing.T) {
+	// Three intervals in two obvious clusters.
+	pts := [][]float64{{0, 0}, {0.1, 0}, {9, 9}}
+	ivs := []*trace.Interval{
+		mkInterval(0, 0, 100, 100),    // CPI 1.0
+		mkInterval(1, 100, 100, 110),  // CPI 1.1
+		mkInterval(2, 200, 800, 2400), // CPI 3.0
+	}
+	weights := []float64{100, 100, 800}
+	cl := Cluster(pts, weights, Options{ForceK: 2, Seed: 1})
+	picked := PickPoints(cl, pts)
+	if len(picked) != 2 {
+		t.Fatalf("picked %d points", len(picked))
+	}
+	est := Evaluate(picked, ivs, 2.6, 2)
+	// Cluster A weight 0.2 (CPI 1.0 or 1.1), cluster B weight 0.8 (CPI 3).
+	if est.EstimatedCPI < 2.5 || est.EstimatedCPI > 2.7 {
+		t.Fatalf("estimated CPI = %v", est.EstimatedCPI)
+	}
+	if est.SimulatedIns == 0 || est.SimulatedIns >= 1000 {
+		t.Fatalf("simulated instructions = %d", est.SimulatedIns)
+	}
+}
+
+func TestFilterCoverage(t *testing.T) {
+	pts := []Point{
+		{Cluster: 0, Interval: 0, Weight: 0.5},
+		{Cluster: 1, Interval: 1, Weight: 0.3},
+		{Cluster: 2, Interval: 2, Weight: 0.15},
+		{Cluster: 3, Interval: 3, Weight: 0.05},
+	}
+	kept := Filter(pts, 0.75)
+	if len(kept) != 2 {
+		t.Fatalf("kept %d points, want 2 (0.5+0.3 >= 0.75)", len(kept))
+	}
+	var sum float64
+	for _, p := range kept {
+		sum += p.Weight
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("renormalized weights sum to %v", sum)
+	}
+	if got := Filter(pts, 1.0); len(got) != 4 {
+		t.Fatalf("full coverage kept %d", len(got))
+	}
+}
+
+func TestBICPrefersTrueKOverOverfit(t *testing.T) {
+	// With clear structure, BIC must not pick k near KMax.
+	pts, _ := blobs([][]float64{{0, 0}, {20, 0}, {0, 20}}, 40, 0.5, 11)
+	cl := Cluster(pts, nil, Options{KMax: 20, Seed: 12})
+	if cl.K > 6 {
+		t.Fatalf("BIC overfit: k=%d for 3 blobs", cl.K)
+	}
+	if cl.K < 3 {
+		t.Fatalf("BIC underfit: k=%d for 3 blobs", cl.K)
+	}
+}

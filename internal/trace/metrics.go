@@ -1,0 +1,83 @@
+package trace
+
+import "phasemark/internal/stats"
+
+// Metric extracts a per-interval behavior metric (CPI, miss rate, ...).
+type Metric func(*Interval) float64
+
+// CPIMetric is the cycles-per-instruction metric.
+func CPIMetric(iv *Interval) float64 { return iv.CPI() }
+
+// DL1MissMetric is the L1 data-cache miss-rate metric.
+func DL1MissMetric(iv *Interval) float64 { return iv.Perf.L1MissRate() }
+
+// PhaseCoVResult summarizes a phase classification's homogeneity.
+type PhaseCoVResult struct {
+	// CoV is the overall coefficient of variation: per-phase CoVs
+	// (intervals weighted by instruction count) averaged across phases
+	// weighted by phase instruction mass.
+	CoV float64
+	// Phases is the number of distinct phase IDs observed.
+	Phases int
+	// Intervals is the number of intervals classified.
+	Intervals int
+	// AvgIntervalLen is the weighted... plain mean interval length.
+	AvgIntervalLen float64
+}
+
+// PhaseCoV measures classification homogeneity per §3.1: for each phase,
+// compute the instruction-weighted mean and standard deviation of the
+// metric over the phase's intervals and divide to get the phase CoV; then
+// average the per-phase CoVs across phases (weighted by phase size) for
+// the overall CoV. Lower is better; N intervals in N phases trivially
+// yield zero, so Phases and Intervals are reported alongside.
+//
+// phaseOf maps an interval to its phase ID (pass IntervalPhase to use the
+// marker-assigned IDs, or a clustering's assignment for BBV baselines).
+func PhaseCoV(ivs []*Interval, phaseOf func(*Interval) int, metric Metric) PhaseCoVResult {
+	groups := map[int]*stats.Weighted{}
+	var totalLen float64
+	for _, iv := range ivs {
+		id := phaseOf(iv)
+		w := float64(iv.Len())
+		g := groups[id]
+		if g == nil {
+			g = &stats.Weighted{}
+			groups[id] = g
+		}
+		g.Add(metric(iv), w)
+		totalLen += w
+	}
+	var covSum, wSum float64
+	for _, g := range groups {
+		covSum += g.CoV() * g.WeightSum()
+		wSum += g.WeightSum()
+	}
+	res := PhaseCoVResult{Phases: len(groups), Intervals: len(ivs)}
+	if wSum > 0 {
+		res.CoV = covSum / wSum
+	}
+	if len(ivs) > 0 {
+		res.AvgIntervalLen = totalLen / float64(len(ivs))
+	}
+	return res
+}
+
+// IntervalPhase uses the phase ID assigned at segmentation time (the
+// marker that began the interval).
+func IntervalPhase(iv *Interval) int { return iv.PhaseID }
+
+// WholeProgramCoV treats the entire execution as a single phase — the
+// paper's "whole program" variability baseline in Figure 9.
+func WholeProgramCoV(ivs []*Interval, metric Metric) float64 {
+	return PhaseCoV(ivs, func(*Interval) int { return 0 }, metric).CoV
+}
+
+// UniquePhases counts distinct phase IDs among the intervals.
+func UniquePhases(ivs []*Interval, phaseOf func(*Interval) int) int {
+	seen := map[int]bool{}
+	for _, iv := range ivs {
+		seen[phaseOf(iv)] = true
+	}
+	return len(seen)
+}

@@ -1,0 +1,180 @@
+// Package trace segments a program's execution into intervals — fixed
+// length (the prior-work baseline) or variable length cut at software
+// phase-marker firings — collecting a basic block vector and timing-model
+// counters for each interval. It also provides the paper's homogeneity
+// metric: the weighted per-phase coefficient of variation (§3.1).
+package trace
+
+import (
+	"fmt"
+
+	"phasemark/internal/bbv"
+	"phasemark/internal/core"
+	"phasemark/internal/minivm"
+	"phasemark/internal/uarch"
+)
+
+// ProloguePhase is the phase ID of execution before the first marker
+// firing (and of all intervals when cutting at fixed lengths, where phase
+// IDs are assigned later by clustering).
+const ProloguePhase = -1
+
+// Interval is one contiguous slice of execution.
+type Interval struct {
+	Index   int
+	Start   uint64 // dynamic instruction count at interval start
+	End     uint64
+	PhaseID int // marker index that began the interval, or ProloguePhase
+	BBV     bbv.Vector
+	Perf    uarch.Counters // metrics accumulated during this interval
+}
+
+// Len reports the interval's instruction count.
+func (iv *Interval) Len() uint64 { return iv.End - iv.Start }
+
+// CPI reports the interval's cycles per instruction.
+func (iv *Interval) CPI() float64 { return iv.Perf.CPI() }
+
+// Result is a segmented, measured execution.
+type Result struct {
+	Intervals    []*Interval
+	Total        uarch.Counters
+	Instructions uint64
+	NumBlocks    int
+	MarkerFires  uint64
+}
+
+// TrueCPI reports the whole-execution CPI.
+func (r *Result) TrueCPI() float64 { return r.Total.CPI() }
+
+// Config selects how to run and cut an execution.
+type Config struct {
+	Prog *minivm.Program
+	Args []int64
+	CPU  uarch.Config
+
+	// FixedLen cuts every FixedLen instructions when nonzero; otherwise
+	// Markers must be set and intervals are cut at marker firings.
+	FixedLen uint64
+	Markers  *core.MarkerSet
+
+	// SkipBBV disables basic-block-vector collection (faster when only
+	// CPI/miss metrics are needed).
+	SkipBBV bool
+}
+
+// collector owns the interval state and implements the cut logic.
+type collector struct {
+	cpu     *uarch.CPU
+	acc     *bbv.Accumulator
+	skipBBV bool
+
+	intervals []*Interval
+	lastCut   uint64
+	lastPerf  uarch.Counters
+	curPhase  int
+}
+
+func (c *collector) cut(phase int, at uint64) {
+	if at == c.lastCut {
+		// Several markers firing at the same instant (e.g. a loop-entry
+		// edge and its first iteration): the innermost firing defines the
+		// new interval's phase; no zero-length interval is recorded.
+		c.curPhase = phase
+		return
+	}
+	now := c.cpu.Counters()
+	iv := &Interval{
+		Index:   len(c.intervals),
+		Start:   c.lastCut,
+		End:     at,
+		PhaseID: c.curPhase,
+		Perf:    now.Sub(c.lastPerf),
+	}
+	if !c.skipBBV {
+		iv.BBV = c.acc.Snapshot()
+	}
+	c.intervals = append(c.intervals, iv)
+	c.lastCut = at
+	c.lastPerf = now
+	c.curPhase = phase
+}
+
+// bbvObserver feeds the accumulator; fixedCutter cuts on length.
+type bbvObserver struct {
+	minivm.NopObserver
+	acc *bbv.Accumulator
+}
+
+func (o bbvObserver) OnBlock(b *minivm.Block) { o.acc.Touch(b.ID, b.Weight()) }
+
+type fixedCutter struct {
+	minivm.NopObserver
+	c      *collector
+	instrs uint64
+	next   uint64
+	step   uint64
+}
+
+func (f *fixedCutter) OnBlock(b *minivm.Block) {
+	if f.instrs >= f.next {
+		f.c.cut(ProloguePhase, f.instrs)
+		f.next += f.step
+	}
+	f.instrs += uint64(b.Weight())
+}
+
+// Run executes the program under the timing model, cutting intervals per
+// cfg, and returns the segmented result.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Prog == nil {
+		return nil, fmt.Errorf("trace: nil program")
+	}
+	if cfg.FixedLen == 0 && cfg.Markers == nil {
+		return nil, fmt.Errorf("trace: need FixedLen or Markers")
+	}
+	if cfg.CPU.L1.Sets == 0 {
+		cfg.CPU = uarch.DefaultConfig()
+	}
+	cpu := uarch.NewCPU(cfg.CPU, cfg.Prog)
+	col := &collector{
+		cpu:      cpu,
+		acc:      bbv.NewAccumulator(cfg.Prog.NumBlocks),
+		skipBBV:  cfg.SkipBBV,
+		curPhase: ProloguePhase,
+	}
+
+	var obs minivm.MultiObserver
+	var det *core.Detector
+	if cfg.FixedLen > 0 {
+		fc := &fixedCutter{c: col, next: cfg.FixedLen, step: cfg.FixedLen}
+		obs = append(obs, fc)
+	} else {
+		det = core.NewDetector(cfg.Prog, nil, cfg.Markers, func(marker int, at uint64) {
+			col.cut(marker, at)
+		})
+		obs = append(obs, det)
+	}
+	obs = append(obs, cpu)
+	if !cfg.SkipBBV {
+		obs = append(obs, bbvObserver{acc: col.acc})
+	}
+
+	m := minivm.NewMachine(cfg.Prog, obs)
+	if _, err := m.Run(cfg.Args...); err != nil {
+		return nil, fmt.Errorf("trace: run failed: %w", err)
+	}
+	// Close the final interval.
+	col.cut(ProloguePhase, m.Instructions())
+
+	res := &Result{
+		Intervals:    col.intervals,
+		Total:        cpu.Counters(),
+		Instructions: m.Instructions(),
+		NumBlocks:    cfg.Prog.NumBlocks,
+	}
+	if det != nil {
+		res.MarkerFires = det.TotalFired()
+	}
+	return res, nil
+}

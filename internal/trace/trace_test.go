@@ -1,0 +1,179 @@
+package trace
+
+import (
+	"testing"
+
+	"phasemark/internal/compile"
+	"phasemark/internal/core"
+	"phasemark/internal/uarch"
+)
+
+const twoPhaseSrc = `
+array big[32768];
+array small[1024];
+proc hot(n) {
+	var s = 0;
+	for (var i = 0; i < n; i = i + 1) { s = s + big[(i * 17) & 32767]; }
+	return s;
+}
+proc cold(n) {
+	var s = 0;
+	for (var i = 0; i < n; i = i + 1) { s = s + small[i & 1023]; }
+	return s;
+}
+proc main(reps, n) {
+	var s = 0;
+	for (var r = 0; r < reps; r = r + 1) { s = s + hot(n) + cold(n); }
+	out(s);
+	return s;
+}
+`
+
+func compileAndMark(t *testing.T, ilower uint64) (*Config, *core.MarkerSet) {
+	t.Helper()
+	prog, err := compile.CompileSource(twoPhaseSrc, compile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := core.ProfileRun(prog, 10, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := core.SelectMarkers(g, core.SelectOptions{ILower: ilower})
+	cfg := &Config{Prog: prog, Args: []int64{10, 20000}, CPU: uarch.DefaultConfig(), Markers: set}
+	return cfg, set
+}
+
+func TestFixedIntervalsCoverExecution(t *testing.T) {
+	cfg, _ := compileAndMark(t, 50_000)
+	cfg.Markers = nil
+	cfg.FixedLen = 100_000
+	res, err := Run(*cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total uint64
+	prevEnd := uint64(0)
+	for _, iv := range res.Intervals {
+		if iv.Start != prevEnd {
+			t.Fatalf("interval %d starts at %d, previous ended at %d", iv.Index, iv.Start, prevEnd)
+		}
+		prevEnd = iv.End
+		total += iv.Len()
+	}
+	if total != res.Instructions {
+		t.Fatalf("intervals cover %d of %d instructions", total, res.Instructions)
+	}
+	// Fixed intervals are approximately FixedLen: the cutter keeps the
+	// grid (next += step), so one interval may undershoot after the
+	// previous one overshot by a block.
+	for _, iv := range res.Intervals[:len(res.Intervals)-1] {
+		if iv.Len() < 99_000 || iv.Len() > 101_000 {
+			t.Fatalf("interval %d length %d not ~100k", iv.Index, iv.Len())
+		}
+	}
+}
+
+func TestPerfCountersSumToTotal(t *testing.T) {
+	cfg, _ := compileAndMark(t, 50_000)
+	res, err := Run(*cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cyc, ins, acc, miss uint64
+	for _, iv := range res.Intervals {
+		cyc += iv.Perf.Cycles
+		ins += iv.Perf.Instrs
+		acc += iv.Perf.L1Acc
+		miss += iv.Perf.L1Miss
+	}
+	if cyc != res.Total.Cycles || ins != res.Total.Instrs ||
+		acc != res.Total.L1Acc || miss != res.Total.L1Miss {
+		t.Fatalf("per-interval counters don't sum to totals")
+	}
+}
+
+func TestBBVMassMatchesIntervalLength(t *testing.T) {
+	cfg, _ := compileAndMark(t, 50_000)
+	res, err := Run(*cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, iv := range res.Intervals {
+		if got, want := iv.BBV.L1(), float64(iv.Len()); got != want {
+			t.Fatalf("interval %d: BBV mass %v != length %v", iv.Index, got, want)
+		}
+	}
+}
+
+func TestMarkerPhasesSeparateBehavior(t *testing.T) {
+	cfg, set := compileAndMark(t, 50_000)
+	if len(set.Markers) == 0 {
+		t.Fatal("no markers")
+	}
+	res, err := Run(*cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov := PhaseCoV(res.Intervals, IntervalPhase, CPIMetric)
+	whole := WholeProgramCoV(res.Intervals, CPIMetric)
+	if cov.CoV >= whole {
+		t.Fatalf("phase classification (%v) must beat whole-program (%v)", cov.CoV, whole)
+	}
+	if cov.Phases < 2 {
+		t.Fatalf("phases = %d", cov.Phases)
+	}
+	if got := UniquePhases(res.Intervals, IntervalPhase); got != cov.Phases {
+		t.Fatalf("UniquePhases=%d vs %d", got, cov.Phases)
+	}
+}
+
+func TestPhaseCoVWeighting(t *testing.T) {
+	// Two intervals in one phase with different CPI: longer interval
+	// dominates the weighted mean.
+	ivs := []*Interval{
+		{Start: 0, End: 1000, PhaseID: 1, Perf: uarch.Counters{Instrs: 1000, Cycles: 1000}},
+		{Start: 1000, End: 10_000, PhaseID: 1, Perf: uarch.Counters{Instrs: 9000, Cycles: 27_000}},
+	}
+	r := PhaseCoV(ivs, IntervalPhase, CPIMetric)
+	// Weighted mean = (1*0.1 + 3*0.9) = 2.8; std = sqrt(0.09*4) = 0.6.
+	if r.Phases != 1 || r.Intervals != 2 {
+		t.Fatalf("%+v", r)
+	}
+	if r.CoV < 0.2 || r.CoV > 0.22 {
+		t.Fatalf("CoV = %v, want ~0.214", r.CoV)
+	}
+	// Same CPI everywhere: zero CoV.
+	same := []*Interval{
+		{End: 100, PhaseID: 0, Perf: uarch.Counters{Instrs: 100, Cycles: 200}},
+		{Start: 100, End: 300, PhaseID: 0, Perf: uarch.Counters{Instrs: 200, Cycles: 400}},
+	}
+	if r := PhaseCoV(same, IntervalPhase, CPIMetric); r.CoV != 0 {
+		t.Fatalf("constant CPI CoV = %v", r.CoV)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Error("nil program accepted")
+	}
+	cfg, _ := compileAndMark(t, 50_000)
+	cfg.Markers = nil
+	if _, err := Run(*cfg); err == nil {
+		t.Error("missing boundary source accepted")
+	}
+}
+
+func TestSkipBBV(t *testing.T) {
+	cfg, _ := compileAndMark(t, 50_000)
+	cfg.SkipBBV = true
+	res, err := Run(*cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, iv := range res.Intervals {
+		if len(iv.BBV.Idx) != 0 {
+			t.Fatal("BBV collected despite SkipBBV")
+		}
+	}
+}

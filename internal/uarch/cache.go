@@ -1,0 +1,209 @@
+// Package uarch provides the microarchitecture timing substrate the
+// evaluation measures phases with: set-associative LRU caches (including
+// the reconfigurable data cache of §6.1), a two-bit branch predictor, and
+// an additive-penalty CPI model. It stands in for the paper's simulated
+// Alpha baseline: the analysis only needs per-interval CPI and data-cache
+// hit/miss counts that vary with the code and data actually executed.
+package uarch
+
+import "fmt"
+
+// CacheConfig describes one set-associative cache.
+type CacheConfig struct {
+	BlockBytes int
+	Sets       int
+	Ways       int
+}
+
+// SizeBytes reports the total capacity.
+func (c CacheConfig) SizeBytes() int { return c.BlockBytes * c.Sets * c.Ways }
+
+// String renders e.g. "64KB (64B x 512 sets x 2-way)".
+func (c CacheConfig) String() string {
+	return fmt.Sprintf("%dKB (%dB x %d sets x %d-way)",
+		c.SizeBytes()/1024, c.BlockBytes, c.Sets, c.Ways)
+}
+
+// Cache is a set-associative cache with true-LRU replacement. Tags are
+// kept per set in MRU-first order. It counts accesses and misses; write
+// misses allocate (write-allocate, writes otherwise modeled like reads,
+// as in the Cheetah-style simulators the paper's cache study uses).
+type Cache struct {
+	cfg      CacheConfig
+	sets     [][]uint64 // MRU-first tag lists
+	accesses uint64
+	misses   uint64
+	// active, when in (0, Ways), restricts lookups and allocation to the
+	// first `active` MRU ways per set while *retaining* the contents of
+	// the deactivated ways — state-preserving way shutdown, the
+	// reconfiguration mechanism adaptive-cache proposals assume (powered-
+	// down ways keep their tags/data and become visible again on growth).
+	active int
+}
+
+// NewCache builds an empty cache. Sets must be a power of two.
+func NewCache(cfg CacheConfig) *Cache {
+	if cfg.Sets&(cfg.Sets-1) != 0 || cfg.Sets <= 0 {
+		panic(fmt.Sprintf("uarch: sets must be a power of two, got %d", cfg.Sets))
+	}
+	if cfg.BlockBytes&(cfg.BlockBytes-1) != 0 || cfg.BlockBytes <= 0 {
+		panic(fmt.Sprintf("uarch: block size must be a power of two, got %d", cfg.BlockBytes))
+	}
+	if cfg.Ways <= 0 {
+		panic("uarch: ways must be positive")
+	}
+	c := &Cache{cfg: cfg, sets: make([][]uint64, cfg.Sets)}
+	for i := range c.sets {
+		c.sets[i] = make([]uint64, 0, cfg.Ways)
+	}
+	return c
+}
+
+// Config returns the current configuration.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// Access touches byte address addr; it returns true on a hit. Misses
+// allocate the block, evicting the LRU line of the active window if it is
+// full (deactivated ways are never searched, allocated into, or evicted).
+func (c *Cache) Access(addr uint64) bool {
+	c.accesses++
+	block := addr / uint64(c.cfg.BlockBytes)
+	si := int(block) & (c.cfg.Sets - 1)
+	tag := block / uint64(c.cfg.Sets)
+	set := c.sets[si]
+	ways := c.cfg.Ways
+	if c.active > 0 && c.active < ways {
+		ways = c.active
+	}
+	window := set
+	if len(window) > ways {
+		window = window[:ways]
+	}
+	for i, t := range window {
+		if t == tag {
+			// Move to MRU position.
+			copy(set[1:i+1], set[:i])
+			set[0] = tag
+			return true
+		}
+	}
+	c.misses++
+	if len(set) < ways {
+		set = append(set, 0)
+		copy(set[1:], set)
+		set[0] = tag
+		c.sets[si] = set
+		return false
+	}
+	// Evict the LRU line of the active window; parked lines (beyond the
+	// window) keep their positions and contents.
+	copy(set[1:ways], set[:ways-1])
+	set[0] = tag
+	return false
+}
+
+// Accesses reports the access count.
+func (c *Cache) Accesses() uint64 { return c.accesses }
+
+// Misses reports the miss count.
+func (c *Cache) Misses() uint64 { return c.misses }
+
+// MissRate reports misses/accesses (0 when idle).
+func (c *Cache) MissRate() float64 {
+	if c.accesses == 0 {
+		return 0
+	}
+	return float64(c.misses) / float64(c.accesses)
+}
+
+// Resize changes the associativity in place, keeping the most recently
+// used lines of each set up to the new way count (the adaptive cache of
+// §6.1 reconfigures 1..8 ways over fixed 512 sets). Counters are not
+// reset.
+func (c *Cache) Resize(ways int) {
+	if ways <= 0 {
+		panic("uarch: ways must be positive")
+	}
+	c.cfg.Ways = ways
+	for i, set := range c.sets {
+		if len(set) > ways {
+			c.sets[i] = set[:ways]
+		}
+	}
+}
+
+// SetActiveWays deactivates all but the w most-recently-used ways of each
+// set, retaining their contents (state-preserving reconfiguration). Pass
+// the full way count (or more) to reactivate everything. Panics on w <= 0.
+func (c *Cache) SetActiveWays(w int) {
+	if w <= 0 {
+		panic("uarch: active ways must be positive")
+	}
+	if w >= c.cfg.Ways {
+		c.active = 0
+		return
+	}
+	c.active = w
+}
+
+// ActiveWays reports the number of ways currently powered.
+func (c *Cache) ActiveWays() int {
+	if c.active > 0 && c.active < c.cfg.Ways {
+		return c.active
+	}
+	return c.cfg.Ways
+}
+
+// ActiveSizeBytes reports the capacity of the powered ways.
+func (c *Cache) ActiveSizeBytes() int {
+	return c.cfg.BlockBytes * c.cfg.Sets * c.ActiveWays()
+}
+
+// Flush drops all cached lines (counters are preserved).
+func (c *Cache) Flush() {
+	for i := range c.sets {
+		c.sets[i] = c.sets[i][:0]
+	}
+}
+
+// Predictor is a table of two-bit saturating counters indexed by the
+// branch's static block ID.
+type Predictor struct {
+	table   []uint8
+	queries uint64
+	wrong   uint64
+}
+
+// NewPredictor builds a predictor with one counter per static block.
+func NewPredictor(numBlocks int) *Predictor {
+	t := make([]uint8, numBlocks)
+	for i := range t {
+		t[i] = 1 // weakly not-taken
+	}
+	return &Predictor{table: t}
+}
+
+// Predict consumes the outcome of branch block id and reports whether the
+// prediction was correct.
+func (p *Predictor) Predict(id int, taken bool) bool {
+	p.queries++
+	ctr := &p.table[id]
+	pred := *ctr >= 2
+	if taken && *ctr < 3 {
+		*ctr++
+	}
+	if !taken && *ctr > 0 {
+		*ctr--
+	}
+	if pred != taken {
+		p.wrong++
+		return false
+	}
+	return true
+}
+
+// Queries reports the number of predicted branches.
+func (p *Predictor) Queries() uint64 { return p.queries }
+
+// Mispredicts reports the number of wrong predictions.
+func (p *Predictor) Mispredicts() uint64 { return p.wrong }

@@ -1,0 +1,267 @@
+package uarch
+
+import (
+	"testing"
+	"testing/quick"
+
+	"phasemark/internal/minivm"
+	"phasemark/internal/stats"
+)
+
+func TestCacheDirectMappedConflicts(t *testing.T) {
+	c := NewCache(CacheConfig{BlockBytes: 64, Sets: 4, Ways: 1})
+	// Two addresses mapping to the same set alternate: always miss.
+	a, b := uint64(0), uint64(4*64) // same set, different tags
+	for i := 0; i < 10; i++ {
+		if c.Access(a) || c.Access(b) {
+			t.Fatal("conflicting accesses must all miss in direct-mapped cache")
+		}
+	}
+	if c.Misses() != 20 || c.Accesses() != 20 {
+		t.Fatalf("misses=%d accesses=%d", c.Misses(), c.Accesses())
+	}
+}
+
+func TestCacheAssociativityResolvesConflicts(t *testing.T) {
+	c := NewCache(CacheConfig{BlockBytes: 64, Sets: 4, Ways: 2})
+	a, b := uint64(0), uint64(4*64)
+	c.Access(a)
+	c.Access(b)
+	for i := 0; i < 10; i++ {
+		if !c.Access(a) || !c.Access(b) {
+			t.Fatal("2-way cache must hold both conflicting blocks")
+		}
+	}
+	if c.Misses() != 2 {
+		t.Fatalf("misses=%d, want 2 cold", c.Misses())
+	}
+}
+
+func TestCacheLRUOrder(t *testing.T) {
+	c := NewCache(CacheConfig{BlockBytes: 64, Sets: 1, Ways: 2})
+	blk := func(i uint64) uint64 { return i * 64 }
+	c.Access(blk(1))
+	c.Access(blk(2))
+	c.Access(blk(1)) // 1 is now MRU
+	c.Access(blk(3)) // evicts 2 (LRU)
+	if !c.Access(blk(1)) {
+		t.Error("block 1 must survive (was MRU)")
+	}
+	if c.Access(blk(2)) {
+		t.Error("block 2 must have been evicted")
+	}
+}
+
+func TestCacheSpatialLocality(t *testing.T) {
+	c := NewCache(CacheConfig{BlockBytes: 64, Sets: 16, Ways: 1})
+	// 8 words per 64B block: one miss then 7 hits.
+	for w := uint64(0); w < 8; w++ {
+		hit := c.Access(w * 8)
+		if w == 0 && hit {
+			t.Error("first word must miss")
+		}
+		if w > 0 && !hit {
+			t.Errorf("word %d must hit in the same block", w)
+		}
+	}
+}
+
+func TestCacheResizePreservesMRU(t *testing.T) {
+	c := NewCache(CacheConfig{BlockBytes: 64, Sets: 1, Ways: 4})
+	for i := uint64(1); i <= 4; i++ {
+		c.Access(i * 64)
+	}
+	c.Resize(2) // keep MRU two: blocks 4, 3
+	if !c.Access(4*64) || !c.Access(3*64) {
+		t.Error("MRU blocks must survive shrink")
+	}
+	if c.Access(1 * 64) {
+		t.Error("LRU block must be dropped on shrink")
+	}
+	c.Resize(8)
+	if c.Config().Ways != 8 {
+		t.Error("grow failed")
+	}
+}
+
+func TestCacheFlush(t *testing.T) {
+	c := NewCache(CacheConfig{BlockBytes: 64, Sets: 2, Ways: 2})
+	c.Access(0)
+	c.Flush()
+	if c.Access(0) {
+		t.Error("flush must drop lines")
+	}
+}
+
+// Property: a larger cache (more ways) never has more misses on any trace
+// — LRU inclusion.
+func TestLRUInclusionProperty(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		rng := stats.NewRNG(seed)
+		small := NewCache(CacheConfig{BlockBytes: 64, Sets: 8, Ways: 2})
+		big := NewCache(CacheConfig{BlockBytes: 64, Sets: 8, Ways: 4})
+		for i := 0; i < int(n)%2000+100; i++ {
+			addr := uint64(rng.Intn(4096)) * 8
+			small.Access(addr)
+			big.Access(addr)
+		}
+		return big.Misses() <= small.Misses()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPredictorLearnsBias(t *testing.T) {
+	p := NewPredictor(4)
+	// Strongly taken branch: after warmup, all predictions correct.
+	for i := 0; i < 10; i++ {
+		p.Predict(1, true)
+	}
+	before := p.Mispredicts()
+	for i := 0; i < 100; i++ {
+		p.Predict(1, true)
+	}
+	if p.Mispredicts() != before {
+		t.Error("saturated predictor must not mispredict a constant branch")
+	}
+	if p.Queries() != 110 {
+		t.Errorf("queries = %d", p.Queries())
+	}
+}
+
+func TestPredictorAlternatingWorstCase(t *testing.T) {
+	p := NewPredictor(1)
+	wrong := 0
+	for i := 0; i < 100; i++ {
+		if !p.Predict(0, i%2 == 0) {
+			wrong++
+		}
+	}
+	if wrong < 40 {
+		t.Errorf("alternating branch should confuse a 2-bit counter, wrong=%d", wrong)
+	}
+}
+
+func TestCPUCountersAndCPI(t *testing.T) {
+	cfg := Config{
+		L1:            CacheConfig{BlockBytes: 64, Sets: 4, Ways: 1},
+		L2:            CacheConfig{BlockBytes: 64, Sets: 16, Ways: 2},
+		L1MissCycles:  10,
+		L2MissCycles:  100,
+		BranchPenalty: 5,
+	}
+	prog := progForCPU(t)
+	c := NewCPU(cfg, prog)
+	// Simulate raw events without the machine.
+	b := prog.Procs[0].Blocks[0]
+	c.OnBlock(b)
+	base := c.Counters()
+	if base.Cycles != base.Instrs || base.Instrs != uint64(b.Weight()) {
+		t.Fatalf("base CPI must be 1: %+v", base)
+	}
+	c.OnMem(0, false) // cold: L1 miss + L2 miss
+	d := c.Counters().Sub(base)
+	if d.Cycles != 110 || d.L1Miss != 1 || d.L2Miss != 1 {
+		t.Fatalf("cold miss delta: %+v", d)
+	}
+	c.OnMem(0, false) // now hot
+	d2 := c.Counters().Sub(base)
+	if d2.L1Acc != 2 || d2.L1Miss != 1 {
+		t.Fatalf("hot access delta: %+v", d2)
+	}
+	c.OnBranch(b, true) // weakly-not-taken predicts false -> mispredict
+	d3 := c.Counters().Sub(base)
+	if d3.Mispred != 1 || d3.Cycles != 110+5 {
+		t.Fatalf("branch delta: %+v", d3)
+	}
+}
+
+func TestCountersSubAndRates(t *testing.T) {
+	a := Counters{Instrs: 100, Cycles: 150, L1Acc: 10, L1Miss: 5}
+	b := Counters{Instrs: 300, Cycles: 600, L1Acc: 40, L1Miss: 10}
+	d := b.Sub(a)
+	if d.Instrs != 200 || d.Cycles != 450 {
+		t.Fatalf("sub: %+v", d)
+	}
+	if d.CPI() != 2.25 {
+		t.Errorf("CPI = %v", d.CPI())
+	}
+	if got := d.L1MissRate(); got != float64(5)/30 {
+		t.Errorf("miss rate = %v", got)
+	}
+	var zero Counters
+	if zero.CPI() != 0 || zero.L1MissRate() != 0 {
+		t.Error("zero counters must not divide by zero")
+	}
+}
+
+func TestBadConfigsPanic(t *testing.T) {
+	for _, cfg := range []CacheConfig{
+		{BlockBytes: 64, Sets: 3, Ways: 1},
+		{BlockBytes: 60, Sets: 4, Ways: 1},
+		{BlockBytes: 64, Sets: 4, Ways: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("no panic for %+v", cfg)
+				}
+			}()
+			NewCache(cfg)
+		}()
+	}
+}
+
+func progForCPU(t *testing.T) *minivm.Program {
+	t.Helper()
+	main := &minivm.Proc{Name: "main", NumArgs: 0, NumRegs: 2}
+	main.Blocks = []*minivm.Block{{
+		Instr: []minivm.Instr{{Op: minivm.OpConst, A: 0, Imm: 1}},
+		Term:  minivm.Term{Kind: minivm.TermRet, Ret: 0},
+	}}
+	p := &minivm.Program{Procs: []*minivm.Proc{main}}
+	p.RenumberBlocks()
+	return p
+}
+
+func TestActiveWaysRetainParkedLines(t *testing.T) {
+	c := NewCache(CacheConfig{BlockBytes: 64, Sets: 1, Ways: 4})
+	for i := uint64(1); i <= 4; i++ {
+		c.Access(i * 64) // MRU order now 4,3,2,1
+	}
+	c.SetActiveWays(2)
+	if c.ActiveWays() != 2 || c.ActiveSizeBytes() != 2*64 {
+		t.Fatalf("active=%d size=%d", c.ActiveWays(), c.ActiveSizeBytes())
+	}
+	// Parked lines (2, 1) are inaccessible while shut down...
+	if c.Access(1 * 64) {
+		t.Fatal("parked line hit while deactivated")
+	}
+	// ...that miss allocated into the active window, evicting active-LRU
+	// only; growing back re-exposes the retained parked lines.
+	c.SetActiveWays(4)
+	if !c.Access(2 * 64) {
+		t.Fatal("parked line lost across shutdown/growth")
+	}
+}
+
+func TestActiveWaysMissBehavior(t *testing.T) {
+	c := NewCache(CacheConfig{BlockBytes: 64, Sets: 1, Ways: 8})
+	for i := uint64(0); i < 8; i++ {
+		c.Access(i * 64)
+	}
+	c.SetActiveWays(1)
+	// Cyclic sweep over 3 blocks in a 1-way window: all miss.
+	base := c.Misses()
+	for pass := 0; pass < 3; pass++ {
+		for i := uint64(20); i < 23; i++ {
+			if c.Access(i * 64) {
+				t.Fatal("1-way window cannot hold 3 blocks")
+			}
+		}
+	}
+	if c.Misses()-base != 9 {
+		t.Fatalf("miss count %d, want 9", c.Misses()-base)
+	}
+}

@@ -1,0 +1,367 @@
+package workloads
+
+// The floating-point-suite analogs. SPEC FP programs are loop-nest
+// dominated with very stable per-invocation instruction counts — the
+// paper's easy cases, where marker CoVs are near zero and procedure/loop
+// boundaries align perfectly with cache-behavior phases.
+
+func init() {
+	register(&Workload{
+		Name:  "art",
+		Desc:  "neural-net F1/F2 alternation: streaming weight scans vs. small compute loops",
+		Train: []int64{3, 30000, 20000, 12345},
+		Ref:   []int64{9, 90000, 60000, 987654321},
+		Source: prng + `
+array w[65536];
+array f1a[1024];
+
+proc scanF1(n) {
+	var s = 0;
+	for (var i = 0; i < n; i = i + 1) {
+		var idx = i & 65535;
+		s = s + w[idx];
+		f1a[i & 1023] = s;
+	}
+	return s;
+}
+
+proc matchF2(n) {
+	var s = 1;
+	for (var i = 0; i < n; i = i + 1) {
+		s = s + f1a[i & 1023] * 3 - (s >> 2);
+	}
+	return s;
+}
+
+proc main(passes, big, small, seed) {
+	rngState = seed | 1;
+	for (var i = 0; i < 65536; i = i + 1) { w[i] = rnd() & 255; }
+	var chk = 0;
+	for (var p = 0; p < passes; p = p + 1) {
+		chk = chk + scanF1(big);
+		chk = chk + matchF2(small);
+	}
+	out(chk);
+	return 0;
+}
+`,
+	})
+
+	register(&Workload{
+		Name:  "galgel",
+		Desc:  "Gaussian elimination: per-pivot work shrinks linearly (variable inner loops)",
+		Train: []int64{2, 64, 777},
+		Ref:   []int64{3, 96, 424242},
+		Source: prng + `
+array m[16384];
+
+proc factor(n) {
+	var chk = 0;
+	for (var k = 0; k < n - 1; k = k + 1) {
+		var pivot = m[k * n + k] | 1;
+		for (var i = k + 1; i < n; i = i + 1) {
+			var f = m[i * n + k] / pivot;
+			for (var j = k; j < n; j = j + 1) {
+				m[i * n + j] = m[i * n + j] - f * m[k * n + j];
+			}
+			chk = chk + f;
+		}
+	}
+	return chk;
+}
+
+proc main(reps, n, seed) {
+	rngState = seed | 1;
+	var chk = 0;
+	for (var r = 0; r < reps; r = r + 1) {
+		for (var i = 0; i < n * n; i = i + 1) { m[i] = (rnd() & 1023) + 1; }
+		chk = chk + factor(n);
+	}
+	out(chk);
+	return 0;
+}
+`,
+	})
+
+	register(&Workload{
+		Name:  "lucas",
+		Desc:  "FFT-style staged butterflies: stride doubles per stage, distinct locality per stage",
+		Train: []int64{1, 16384, 31337},
+		Ref:   []int64{3, 32768, 1299709},
+		Source: prng + `
+array sig[32768];
+
+proc stagePass(stride, n) {
+	var s = 0;
+	var i = 0;
+	while (i < n) {
+		var a = sig[i & 32767];
+		var b = sig[(i + stride) & 32767];
+		sig[i & 32767] = a + b;
+		sig[(i + stride) & 32767] = a - b;
+		s = s + (a & 4095);
+		i = i + 2;
+	}
+	return s;
+}
+
+proc main(iters, n, seed) {
+	rngState = seed | 1;
+	for (var i = 0; i < 32768; i = i + 1) { sig[i] = rnd() & 65535; }
+	var chk = 0;
+	for (var t = 0; t < iters; t = t + 1) {
+		var stride = 1;
+		while (stride < 16384) {
+			chk = chk + stagePass(stride, n);
+			stride = stride << 1;
+		}
+	}
+	out(chk);
+	return 0;
+}
+`,
+	})
+
+	register(&Workload{
+		Name:  "mgrid",
+		Desc:  "multigrid V-cycles: smooth/restrict/prolong across three grid levels",
+		Train: []int64{2, 1, 99},
+		Ref:   []int64{4, 2, 31415},
+		Source: prng + `
+// fine grid at 0 (32768 words), mid at 32768 (8192), coarse at 40960 (2048)
+array grid[49152];
+
+proc smooth(base, size, sweeps) {
+	var s = 0;
+	for (var w = 0; w < sweeps; w = w + 1) {
+		for (var i = 1; i < size - 1; i = i + 1) {
+			var v = (grid[base + i - 1] + grid[base + i] * 2 + grid[base + i + 1]) >> 2;
+			grid[base + i] = v;
+			s = s + (v & 255);
+		}
+	}
+	return s;
+}
+
+proc coarsen(src, dst, dstSize) {
+	for (var i = 0; i < dstSize; i = i + 1) {
+		grid[dst + i] = (grid[src + 2 * i] + grid[src + 2 * i + 1]) >> 1;
+	}
+	return 0;
+}
+
+proc refine(src, dst, srcSize) {
+	for (var i = 0; i < srcSize; i = i + 1) {
+		var v = grid[src + i];
+		grid[dst + 2 * i] = grid[dst + 2 * i] + (v >> 1);
+		grid[dst + 2 * i + 1] = grid[dst + 2 * i + 1] + (v >> 1);
+	}
+	return 0;
+}
+
+proc main(cycles, sweeps, seed) {
+	rngState = seed | 1;
+	for (var i = 0; i < 32768; i = i + 1) { grid[i] = rnd() & 4095; }
+	var chk = 0;
+	for (var c = 0; c < cycles; c = c + 1) {
+		chk = chk + smooth(0, 32768, sweeps);
+		coarsen(0, 32768, 8192);
+		chk = chk + smooth(32768, 8192, sweeps);
+		coarsen(32768, 40960, 2048);
+		chk = chk + smooth(40960, 2048, sweeps * 4);
+		refine(40960, 32768, 2048);
+		chk = chk + smooth(32768, 8192, sweeps);
+		refine(32768, 0, 8192);
+		chk = chk + smooth(0, 32768, sweeps);
+	}
+	out(chk);
+	return 0;
+}
+`,
+	})
+
+	register(&Workload{
+		Name:  "applu",
+		Desc:  "SSOR on two grid scales: fine-grid relaxation (256KB working set) alternating with coarse-grid sweeps (16KB)",
+		Fig10: true,
+		Train: []int64{4, 2, 30, 555},
+		Ref:   []int64{9, 2, 40, 271828},
+		Source: prng + `
+array fineg[32768];
+array coarseg[2048];
+
+proc fineRelax(sweeps) {
+	var s = 0;
+	for (var w = 0; w < sweeps; w = w + 1) {
+		for (var i = 1; i < 32767; i = i + 1) {
+			var v = (fineg[i - 1] + 2 * fineg[i] + fineg[i + 1]) >> 2;
+			fineg[i] = v;
+			s = s + (v & 63);
+		}
+	}
+	return s;
+}
+
+proc coarseRelax(sweeps) {
+	var s = 0;
+	for (var w = 0; w < sweeps; w = w + 1) {
+		for (var i = 1; i < 2047; i = i + 1) {
+			var v = (coarseg[i - 1] + 2 * coarseg[i] + coarseg[i + 1]) >> 2;
+			coarseg[i] = v;
+			s = s + (v & 63);
+		}
+	}
+	return s;
+}
+
+proc main(steps, fsweeps, csweeps, seed) {
+	rngState = seed | 1;
+	for (var i = 0; i < 32768; i = i + 1) { fineg[i] = rnd() & 8191; }
+	for (var i = 0; i < 2048; i = i + 1) { coarseg[i] = rnd() & 8191; }
+	var chk = 0;
+	for (var t = 0; t < steps; t = t + 1) {
+		chk = chk + fineRelax(fsweeps);
+		chk = chk + coarseRelax(csweeps);
+	}
+	out(chk);
+	return 0;
+}
+`,
+	})
+
+	register(&Workload{
+		Name:  "swim",
+		Desc:  "shallow-water timesteps: combined three-grid update (192KB), pressure-only sweeps (64KB), boundary sweeps (4KB)",
+		Fig10: true,
+		Train: []int64{6, 2, 3, 50, 808},
+		Ref:   []int64{12, 2, 4, 80, 161803},
+		Source: prng + `
+array u[8192];
+array v[8192];
+array p[8192];
+array edge[512];
+
+proc bigStep(sweeps) {
+	var s = 0;
+	for (var w = 0; w < sweeps; w = w + 1) {
+		for (var i = 1; i < 8191; i = i + 1) {
+			var du = u[i] + ((p[i + 1] - p[i - 1]) >> 2) - (v[i] >> 3);
+			var dv = v[i] + ((p[i] - p[i - 1]) >> 2) - (u[i] >> 3);
+			u[i] = du;
+			v[i] = dv;
+			s = s + ((du + dv) & 255);
+		}
+	}
+	return s;
+}
+
+proc pressure(sweeps) {
+	var s = 0;
+	for (var w = 0; w < sweeps; w = w + 1) {
+		for (var i = 1; i < 8191; i = i + 1) {
+			var val = p[i] - ((p[i + 1] - p[i - 1]) >> 3);
+			p[i] = val;
+			s = s + (val & 255);
+		}
+	}
+	return s;
+}
+
+proc boundary(sweeps) {
+	var s = 0;
+	for (var w = 0; w < sweeps; w = w + 1) {
+		for (var i = 1; i < 511; i = i + 1) {
+			edge[i] = (edge[i - 1] + edge[i] + edge[i + 1]) / 3;
+			s = s + (edge[i] & 127);
+		}
+	}
+	return s;
+}
+
+proc main(steps, bsweeps, psweeps, esweeps, seed) {
+	rngState = seed | 1;
+	for (var i = 0; i < 8192; i = i + 1) {
+		u[i] = rnd() & 1023;
+		v[i] = rnd() & 1023;
+		p[i] = rnd() & 1023;
+	}
+	for (var i = 0; i < 512; i = i + 1) { edge[i] = rnd() & 1023; }
+	var chk = 0;
+	for (var t = 0; t < steps; t = t + 1) {
+		chk = chk + bigStep(bsweeps);
+		chk = chk + pressure(psweeps);
+		chk = chk + boundary(esweeps);
+	}
+	out(chk);
+	return 0;
+}
+`,
+	})
+
+	register(&Workload{
+		Name:  "tomcatv",
+		Desc:  "mesh generation: streaming residual (384KB, cache-insensitive), paired-grid relaxation (256KB), small row solves (8KB)",
+		Fig10: true,
+		Train: []int64{5, 2, 2, 40, 2718},
+		Ref:   []int64{10, 3, 2, 60, 6674303},
+		Source: prng + `
+array xg[16384];
+array yg[16384];
+array rx[16384];
+array rowbuf[1024];
+
+proc residual(sweeps) {
+	var s = 0;
+	for (var w = 0; w < sweeps; w = w + 1) {
+		for (var i = 1; i < 16383; i = i + 1) {
+			var r = xg[i - 1] + xg[i + 1] + yg[i] - 3 * xg[i];
+			rx[i] = r;
+			s = s + (r & 511);
+		}
+	}
+	return s;
+}
+
+proc relaxPair(sweeps) {
+	var s = 0;
+	for (var w = 0; w < sweeps; w = w + 1) {
+		for (var i = 1; i < 16383; i = i + 1) {
+			var vx = xg[i] + ((yg[i] - xg[i]) >> 3);
+			xg[i] = vx;
+			yg[i] = yg[i] - ((vx - yg[i]) >> 4);
+			s = s + (vx & 255);
+		}
+	}
+	return s;
+}
+
+proc rowSolve(sweeps) {
+	var s = 0;
+	for (var w = 0; w < sweeps; w = w + 1) {
+		for (var j = 1; j < 1023; j = j + 1) {
+			rowbuf[j] = rowbuf[j] + ((rowbuf[j - 1] - rowbuf[j]) >> 2);
+			s = s + (rowbuf[j] & 127);
+		}
+	}
+	return s;
+}
+
+proc main(iters, rsweeps, psweeps, ssweeps, seed) {
+	rngState = seed | 1;
+	for (var i = 0; i < 16384; i = i + 1) {
+		xg[i] = rnd() & 2047;
+		yg[i] = rnd() & 2047;
+	}
+	for (var i = 0; i < 1024; i = i + 1) { rowbuf[i] = rnd() & 2047; }
+	var chk = 0;
+	for (var t = 0; t < iters; t = t + 1) {
+		chk = chk + residual(rsweeps);
+		chk = chk + relaxPair(psweeps);
+		chk = chk + rowSolve(ssweeps);
+	}
+	out(chk);
+	return 0;
+}
+`,
+	})
+}

@@ -1,0 +1,349 @@
+package workloads
+
+// The integer-suite analogs. These are the paper's hard cases: irregular,
+// call-heavy, data-dependent control flow (gcc, vortex are the programs
+// the reuse-distance approach of Shen et al. could not find structure in).
+
+func init() {
+	register(&Workload{
+		Name:  "gcc",
+		Desc:  "compiler-like: lex / recursive expression build+eval / emit, per-function sizes vary wildly",
+		Train: []int64{40, 8, 1009},
+		Ref:   []int64{70, 10, 7919},
+		Source: prng + `
+array tok[8192];
+array sym[4096];
+array code[8192];
+array opk[16384];
+array lhs[16384];
+array rhs[16384];
+array vals[16384];
+var nodeCount;
+
+proc lex(n) {
+	var h = 0;
+	for (var i = 0; i < n; i = i + 1) {
+		var c = rnd() & 127;
+		if (c < 26) {
+			h = h + c;
+			sym[h & 4095] = sym[h & 4095] + 1;
+		} else if (c < 52) {
+			h = h ^ (c << 2);
+		} else if (c < 96) {
+			tok[i & 8191] = c;
+		} else {
+			h = h - c;
+		}
+	}
+	return h;
+}
+
+proc buildExpr(depth) {
+	var id = nodeCount & 16383;
+	nodeCount = nodeCount + 1;
+	if (depth <= 0 || (rnd() & 3) == 0) {
+		opk[id] = 0;
+		vals[id] = rnd() & 1023;
+		return id;
+	}
+	opk[id] = (rnd() & 3) + 1;
+	var l = buildExpr(depth - 1);
+	var r = buildExpr(depth - 1);
+	lhs[id] = l;
+	rhs[id] = r;
+	return id;
+}
+
+proc evalExpr(id) {
+	var o = opk[id];
+	if (o == 0) { return vals[id]; }
+	var a = evalExpr(lhs[id]);
+	var b = evalExpr(rhs[id]);
+	if (o == 1) { return a + b; }
+	if (o == 2) { return a - b; }
+	if (o == 3) { return (a * b) & 65535; }
+	return a ^ b;
+}
+
+proc emit(n) {
+	var s = 0;
+	for (var i = 0; i < n; i = i + 1) {
+		var c = tok[i & 8191] ^ (i << 1);
+		code[i & 8191] = c;
+		s = s + (c & 255);
+	}
+	return s;
+}
+
+proc main(funcs, maxDepth, seed) {
+	rngState = seed | 1;
+	var chk = 0;
+	for (var f = 0; f < funcs; f = f + 1) {
+		var size = ((rnd() & 2047) + 256) * 4;
+		chk = chk + lex(size);
+		var nexpr = (rnd() & 7) + 2;
+		for (var e = 0; e < nexpr; e = e + 1) {
+			nodeCount = 0;
+			var root = buildExpr(maxDepth);
+			chk = chk + evalExpr(root);
+		}
+		chk = chk + emit(size);
+	}
+	out(chk);
+	return 0;
+}
+`,
+	})
+
+	register(&Workload{
+		Name:  "vortex",
+		Desc:  "object database: rotating transaction mixes over a probed hash index",
+		Train: []int64{6, 4000, 131},
+		Ref:   []int64{10, 8000, 524287},
+		Source: prng + `
+array keyt[16384];
+array valt[16384];
+array jrnl[8192];
+var jpos;
+var population;
+
+proc probe(k) {
+	var h = (k * 2654435761) & 16383;
+	var steps = 0;
+	while (keyt[h] != 0 && keyt[h] != k && steps < 16384) {
+		h = (h + 1) & 16383;
+		steps = steps + 1;
+	}
+	return h;
+}
+
+proc insert(k, v) {
+	var h = probe(k);
+	if (keyt[h] == 0) {
+		if (population < 12288) {
+			keyt[h] = k;
+			population = population + 1;
+		} else {
+			return 0;
+		}
+	}
+	valt[h] = v;
+	jrnl[jpos & 8191] = k;
+	jpos = jpos + 1;
+	return 1;
+}
+
+proc lookup(k) {
+	var h = probe(k);
+	if (keyt[h] == k) { return valt[h]; }
+	return 0;
+}
+
+proc scanAll() {
+	var s = 0;
+	for (var i = 0; i < 16384; i = i + 1) {
+		if (keyt[i] != 0) { s = s + (valt[i] & 1023); }
+	}
+	return s;
+}
+
+proc main(rounds, txns, seed) {
+	rngState = seed | 1;
+	var chk = 0;
+	for (var r = 0; r < rounds; r = r + 1) {
+		// Phase 1: insert-heavy.
+		for (var i = 0; i < txns; i = i + 1) {
+			var k = (rnd() & 65535) | 1;
+			chk = chk + insert(k, rnd() & 4095);
+		}
+		// Phase 2: lookup-heavy.
+		for (var j = 0; j < txns * 2; j = j + 1) {
+			chk = chk + (lookup((rnd() & 65535) | 1) & 255);
+		}
+		// Phase 3: reporting scan.
+		chk = chk + scanAll();
+	}
+	out(chk);
+	return 0;
+}
+`,
+	})
+
+	register(&Workload{
+		Name:  "mcf",
+		Desc:  "network simplex analog: long pointer chases over a permutation plus small pricing loops",
+		Train: []int64{8, 30000, 13},
+		Ref:   []int64{14, 60000, 101},
+		Source: prng + `
+array nxt[65536];
+array cost[65536];
+
+proc buildPerm(n) {
+	for (var i = 0; i < n; i = i + 1) {
+		nxt[i] = i;
+		cost[i] = rnd() & 255;
+	}
+	for (var i = n - 1; i > 0; i = i - 1) {
+		var j = (rnd() & 2147483647) % (i + 1);
+		var t = nxt[i];
+		nxt[i] = nxt[j];
+		nxt[j] = t;
+	}
+	return 0;
+}
+
+proc chase(steps, start) {
+	var p = start & 65535;
+	var c = 0;
+	for (var s = 0; s < steps; s = s + 1) {
+		c = c + cost[p];
+		p = nxt[p];
+	}
+	return c;
+}
+
+proc price(n) {
+	var s = 1;
+	for (var i = 0; i < n; i = i + 1) {
+		s = s + ((s << 1) ^ i) & 1048575;
+	}
+	return s;
+}
+
+proc main(rounds, steps, seed) {
+	rngState = seed | 1;
+	buildPerm(65536);
+	var chk = 0;
+	for (var r = 0; r < rounds; r = r + 1) {
+		chk = chk + chase(steps, r * 97);
+		chk = chk + price(steps / 4);
+	}
+	out(chk);
+	return 0;
+}
+`,
+	})
+
+	register(&Workload{
+		Name:  "vpr",
+		Desc:  "router analog: per-net wave expansion with variable frontier sizes, repeated passes",
+		Train: []int64{1, 40, 909},
+		Ref:   []int64{2, 50, 65537},
+		Source: prng + `
+array gridc[16384];
+array frontier[4096];
+
+proc expandNet(budget) {
+	var fsize = 1;
+	frontier[0] = rnd() & 16383;
+	var cost = 0;
+	var spent = 0;
+	while (spent < budget && fsize > 0) {
+		var nf = 0;
+		for (var i = 0; i < fsize && nf < 4000; i = i + 1) {
+			var cell = frontier[i];
+			cost = cost + gridc[cell];
+			gridc[cell] = gridc[cell] + 1;
+			var fanout = rnd() & 3;
+			for (var k = 0; k < fanout; k = k + 1) {
+				frontier[nf & 4095] = (cell + (rnd() & 255) - 128) & 16383;
+				nf = nf + 1;
+			}
+		}
+		spent = spent + fsize;
+		fsize = nf;
+		if (fsize > 4000) { fsize = 4000; }
+	}
+	return cost;
+}
+
+proc ripup(n) {
+	var s = 0;
+	for (var i = 0; i < n; i = i + 1) {
+		var c = gridc[i];
+		if (c > 4) { gridc[i] = c - (c >> 2); s = s + 1; }
+	}
+	return s;
+}
+
+proc main(passes, nets, seed) {
+	rngState = seed | 1;
+	for (var i = 0; i < 16384; i = i + 1) { gridc[i] = rnd() & 7; }
+	var chk = 0;
+	for (var p = 0; p < passes; p = p + 1) {
+		for (var n = 0; n < nets; n = n + 1) {
+			chk = chk + expandNet(2000 + (rnd() & 2047));
+		}
+		chk = chk + ripup(16384);
+	}
+	out(chk);
+	return 0;
+}
+`,
+	})
+
+	register(&Workload{
+		Name:  "perlbmk",
+		Desc:  "text processing: per-message scan / hash / substitute loops (diffmail-like)",
+		Train: []int64{8, 8192, 4321},
+		Ref:   []int64{24, 16384, 1234567},
+		Source: prng + `
+array text[32768];
+array hasht[4096];
+
+proc fillText(n, msg) {
+	for (var i = 0; i < n; i = i + 1) {
+		text[i & 32767] = ((rnd() + msg * 131) & 127);
+	}
+	return 0;
+}
+
+proc scanWords(n) {
+	var h = 5381;
+	var words = 0;
+	for (var i = 0; i < n; i = i + 1) {
+		var c = text[i & 32767];
+		if (c > 32) {
+			h = (h * 33 + c) & 1048575;
+		} else {
+			hasht[h & 4095] = hasht[h & 4095] + 1;
+			words = words + 1;
+			h = 5381;
+		}
+	}
+	return words;
+}
+
+proc substitute(n, from, to) {
+	var subs = 0;
+	for (var i = 0; i < n; i = i + 1) {
+		if (text[i & 32767] == from) {
+			text[i & 32767] = to;
+			subs = subs + 1;
+		}
+	}
+	return subs;
+}
+
+proc report() {
+	var s = 0;
+	for (var i = 0; i < 4096; i = i + 1) { s = s + hasht[i]; }
+	return s;
+}
+
+proc main(msgs, n, seed) {
+	rngState = seed | 1;
+	var chk = 0;
+	for (var m = 0; m < msgs; m = m + 1) {
+		fillText(n, m);
+		chk = chk + scanWords(n);
+		chk = chk + substitute(n, 65, 97);
+		chk = chk + substitute(n, 48, 57);
+	}
+	chk = chk + report();
+	out(chk);
+	return 0;
+}
+`,
+	})
+}

@@ -1,0 +1,294 @@
+package workloads
+
+// Compression and mesh analogs: gzip/bzip2 for the main suite (gzip is the
+// paper's running time-varying example, Figure 3; bzip2 its projection
+// example, Figures 5/6), compress95 and mesh for the cache suite.
+
+func init() {
+	register(&Workload{
+		Name:  "gzip",
+		Desc:  "alternating long high-miss deflate phases and short low-miss huffman phases (Figure 3 shape)",
+		Train: []int64{4, 15000, 8000, 271},
+		Ref:   []int64{12, 45000, 20000, 1000003},
+		Source: prng + `
+array data[65536];
+array dict[2048];
+
+proc fill(n) {
+	for (var i = 0; i < n; i = i + 1) { data[i & 65535] = rnd() & 65535; }
+	return 0;
+}
+
+proc deflate(n) {
+	var h = 1;
+	for (var i = 0; i < n; i = i + 1) {
+		var j = rnd() & 65535;
+		h = (h + data[j]) ^ (h << 1);
+		data[(j + 1) & 65535] = h & 65535;
+	}
+	return h;
+}
+
+proc huffman(n) {
+	var s = 0;
+	for (var i = 0; i < n; i = i + 1) {
+		var k = (s + i * 31) & 2047;
+		dict[k] = dict[k] + 1;
+		s = s + dict[k];
+	}
+	return s;
+}
+
+proc main(chunks, big, small, seed) {
+	rngState = seed | 1;
+	fill(65536);
+	var chk = 0;
+	for (var c = 0; c < chunks; c = c + 1) {
+		chk = chk + deflate(big);
+		chk = chk + huffman(small);
+	}
+	out(chk);
+	return 0;
+}
+`,
+	})
+
+	register(&Workload{
+		Name:  "bzip2",
+		Desc:  "block compression: shell-sort / move-to-front / entropy stages, few phase transitions",
+		Train: []int64{2, 4096, 515},
+		Ref:   []int64{3, 6144, 2097143},
+		Source: prng + `
+array blk[16384];
+array perm[16384];
+array mtft[256];
+array freq[1024];
+
+proc sortBlock(n) {
+	var swaps = 0;
+	var gap = n / 2;
+	while (gap > 0) {
+		for (var i = gap; i < n; i = i + 1) {
+			var t = perm[i];
+			var tv = blk[t];
+			var j = i;
+			while (j >= gap && blk[perm[j - gap]] > tv) {
+				perm[j] = perm[j - gap];
+				j = j - gap;
+				swaps = swaps + 1;
+			}
+			perm[j] = t;
+		}
+		gap = gap / 2;
+	}
+	return swaps;
+}
+
+proc moveToFront(n) {
+	var s = 0;
+	for (var i = 0; i < 256; i = i + 1) { mtft[i] = i; }
+	for (var i = 0; i < n; i = i + 1) {
+		var c = blk[perm[i]] & 255;
+		var j = 0;
+		while (mtft[j] != c && j < 255) { j = j + 1; }
+		while (j > 0) {
+			mtft[j] = mtft[j - 1];
+			j = j - 1;
+		}
+		mtft[0] = c;
+		s = s + j;
+	}
+	return s;
+}
+
+proc entropy(n) {
+	var bits = 0;
+	for (var i = 0; i < 1024; i = i + 1) { freq[i] = 1; }
+	for (var i = 0; i < n; i = i + 1) {
+		var c = blk[i] & 1023;
+		freq[c] = freq[c] + 1;
+	}
+	for (var i = 0; i < 1024; i = i + 1) {
+		var f = freq[i];
+		var lg = 0;
+		while (f > 1) { f = f >> 1; lg = lg + 1; }
+		bits = bits + freq[i] * (10 - lg);
+	}
+	return bits;
+}
+
+proc main(blocks, n, seed) {
+	rngState = seed | 1;
+	var chk = 0;
+	for (var b = 0; b < blocks; b = b + 1) {
+		for (var i = 0; i < n; i = i + 1) {
+			blk[i] = rnd() & 255;
+			perm[i] = i;
+		}
+		chk = chk + sortBlock(n);
+		chk = chk + moveToFront(n);
+		chk = chk + entropy(n);
+	}
+	out(chk);
+	return 0;
+}
+`,
+	})
+
+	register(&Workload{
+		Name:  "compress",
+		Desc:  "LZW-style dictionary compression with periodic dictionary resets (sawtooth phases)",
+		Fig10: true,
+		Train: []int64{2, 30000, 61},
+		Ref:   []int64{4, 60000, 46337},
+		Source: prng + `
+array dictk[8192];
+array dictv[8192];
+array freqs[2048];
+var dictCount;
+
+proc resetDict() {
+	for (var i = 0; i < 8192; i = i + 1) {
+		dictk[i] = 0;
+		dictv[i] = 0;
+	}
+	dictCount = 0;
+	return 0;
+}
+
+proc codeFor(key) {
+	var h = (key * 40503) & 8191;
+	var steps = 0;
+	while (dictk[h] != 0 && dictk[h] != key && steps < 64) {
+		h = (h + 1) & 8191;
+		steps = steps + 1;
+	}
+	if (dictk[h] == key) { return dictv[h]; }
+	dictk[h] = key;
+	dictv[h] = dictCount;
+	dictCount = dictCount + 1;
+	return -1;
+}
+
+proc compressStream(n) {
+	var prev = 0;
+	var emitted = 0;
+	for (var i = 0; i < n; i = i + 1) {
+		var c = (rnd() & 63) + 1;
+		var key = (prev << 7) | c;
+		var code = codeFor(key);
+		if (code < 0) {
+			emitted = emitted + 1;
+			prev = c;
+		} else {
+			prev = (code & 511) + 1;
+		}
+		if (dictCount > 6000) {
+			resetDict();
+		}
+	}
+	return emitted;
+}
+
+proc entropyScan(sweeps) {
+	var bits = 0;
+	for (var w = 0; w < sweeps; w = w + 1) {
+		for (var i = 1; i < 2048; i = i + 1) {
+			freqs[i] = freqs[i] + (freqs[i - 1] >> 3) + 1;
+			bits = bits + (freqs[i] & 127);
+		}
+	}
+	return bits;
+}
+
+proc main(streams, n, seed) {
+	rngState = seed | 1;
+	resetDict();
+	var chk = 0;
+	for (var s = 0; s < streams; s = s + 1) {
+		chk = chk + compressStream(n);
+		chk = chk + entropyScan(40);
+	}
+	out(chk);
+	return 0;
+}
+`,
+	})
+
+	register(&Workload{
+		Name:  "mesh",
+		Desc:  "unstructured-mesh relaxation: indirect edge gathers (64KB nodes + streamed edges), node updates (64KB), boundary smoothing (8KB)",
+		Fig10: true,
+		Train: []int64{6, 16384, 8192, 40, 17},
+		Ref:   []int64{12, 32768, 8192, 60, 104729},
+		Source: prng + `
+array ea[32768];
+array eb[32768];
+array node[8192];
+array accum[8192];
+array bnd[1024];
+
+proc buildMesh(ne, nn) {
+	for (var i = 0; i < nn; i = i + 1) {
+		node[i] = rnd() & 1023;
+		accum[i] = 0;
+	}
+	for (var e = 0; e < ne; e = e + 1) {
+		ea[e] = rnd() & (nn - 1);
+		eb[e] = (ea[e] + 1 + (rnd() & 255)) & (nn - 1);
+	}
+	for (var i = 0; i < 1024; i = i + 1) { bnd[i] = rnd() & 1023; }
+	return 0;
+}
+
+proc gather(ne) {
+	var s = 0;
+	for (var e = 0; e < ne; e = e + 1) {
+		var a = ea[e];
+		var b = eb[e];
+		var d = node[b] - node[a];
+		accum[a] = accum[a] + d;
+		accum[b] = accum[b] - d;
+		s = s + (d & 63);
+	}
+	return s;
+}
+
+proc update(nn, sweeps) {
+	var s = 0;
+	for (var w = 0; w < sweeps; w = w + 1) {
+		for (var i = 0; i < nn; i = i + 1) {
+			node[i] = node[i] + (accum[i] >> 4);
+			s = s + (node[i] & 255);
+		}
+	}
+	for (var i = 0; i < nn; i = i + 1) { accum[i] = 0; }
+	return s;
+}
+
+proc smoothBoundary(sweeps) {
+	var s = 0;
+	for (var w = 0; w < sweeps; w = w + 1) {
+		for (var i = 1; i < 1023; i = i + 1) {
+			bnd[i] = (bnd[i - 1] + bnd[i] + bnd[i + 1]) / 3;
+			s = s + (bnd[i] & 127);
+		}
+	}
+	return s;
+}
+
+proc main(iters, ne, nn, bsweeps, seed) {
+	rngState = seed | 1;
+	buildMesh(ne, nn);
+	var chk = 0;
+	for (var t = 0; t < iters; t = t + 1) {
+		chk = chk + gather(ne);
+		chk = chk + update(nn, 2);
+		chk = chk + smoothBoundary(bsweeps);
+	}
+	out(chk);
+	return 0;
+}
+`,
+	})
+}

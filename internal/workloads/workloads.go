@@ -1,0 +1,133 @@
+// Package workloads defines the synthetic benchmark suite the experiments
+// run on: sixteen mini-language programs modeled on the phase structure of
+// the SPEC programs the paper evaluates (see DESIGN.md §2 for the
+// substitution rationale). Eleven programs stand in for the Figure 7–9 /
+// 11–12 suite (art, bzip2, galgel, gcc, gzip, lucas, mcf, mgrid, perlbmk,
+// vortex, vpr) and five for the Figure 10 cache-reconfiguration suite
+// (applu, compress, mesh, swim, tomcatv).
+//
+// Each workload carries a "train" and a "ref" input; cross-input results
+// select markers on train and apply them to ref, exactly as the paper
+// does. All programs are deterministic (in-language xorshift PRNG seeded
+// from the input) and emit a checksum via out() so compilation modes can
+// be verified observably equivalent.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"phasemark/internal/compile"
+	"phasemark/internal/minivm"
+)
+
+// Workload is one benchmark program plus its inputs.
+type Workload struct {
+	Name   string
+	Desc   string
+	Source string
+	Train  []int64
+	Ref    []int64
+	// Fig10 marks membership in the cache-reconfiguration suite.
+	Fig10 bool
+}
+
+var registry = map[string]*Workload{}
+
+func register(w *Workload) {
+	if _, dup := registry[w.Name]; dup {
+		panic("workloads: duplicate " + w.Name)
+	}
+	registry[w.Name] = w
+}
+
+// All returns every workload, sorted by name.
+func All() []*Workload {
+	out := make([]*Workload, 0, len(registry))
+	for _, w := range registry {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Suite79 returns the eleven programs of the Figure 7–9 / 11–12 suite.
+func Suite79() []*Workload {
+	var out []*Workload
+	for _, w := range All() {
+		if !w.Fig10 {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Suite10 returns the five programs of the Figure 10 cache suite.
+func Suite10() []*Workload {
+	var out []*Workload
+	for _, w := range All() {
+		if w.Fig10 {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// ByName returns the named workload or an error.
+func ByName(name string) (*Workload, error) {
+	if w, ok := registry[name]; ok {
+		return w, nil
+	}
+	return nil, fmt.Errorf("workloads: unknown workload %q", name)
+}
+
+type progKey struct {
+	name string
+	opt  bool
+}
+
+var (
+	progMu    sync.Mutex
+	progCache = map[progKey]*minivm.Program{}
+)
+
+// Compile compiles the workload (cached; programs are immutable once
+// built — callers must not mutate the returned IR).
+func (w *Workload) Compile(optimize bool) (*minivm.Program, error) {
+	progMu.Lock()
+	defer progMu.Unlock()
+	k := progKey{name: w.Name, opt: optimize}
+	if p, ok := progCache[k]; ok {
+		return p, nil
+	}
+	p, err := compile.CompileSource(w.Source, compile.Options{Optimize: optimize})
+	if err != nil {
+		return nil, fmt.Errorf("workloads: compile %s: %w", w.Name, err)
+	}
+	progCache[k] = p
+	return p, nil
+}
+
+// MustCompile is Compile for tests and examples that control their inputs.
+func (w *Workload) MustCompile(optimize bool) *minivm.Program {
+	p, err := w.Compile(optimize)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// prng is the in-language xorshift PRNG shared by workloads that need
+// data-dependent behavior; concatenated into their sources.
+const prng = `
+var rngState;
+proc rnd() {
+	var x = rngState;
+	x = x ^ (x << 13);
+	x = x ^ (x >> 7);
+	x = x ^ (x << 17);
+	rngState = x;
+	return x;
+}
+`

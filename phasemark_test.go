@@ -1,0 +1,102 @@
+package phasemark_test
+
+import (
+	"testing"
+
+	"phasemark"
+)
+
+const demoSrc = `
+array buf[16384];
+proc phaseA(n) {
+	var s = 0;
+	for (var i = 0; i < n; i = i + 1) { s = s + buf[(i * 5) & 16383]; }
+	return s;
+}
+proc phaseB(n) {
+	var s = 1;
+	for (var i = 0; i < n; i = i + 1) { s = s + (s >> 3) + i; }
+	return s;
+}
+proc main(reps, n) {
+	var s = 0;
+	for (var r = 0; r < reps; r = r + 1) { s = s + phaseA(n) + phaseB(n); }
+	out(s);
+	return s;
+}
+`
+
+func TestEndToEndPipeline(t *testing.T) {
+	prog, err := phasemark.CompileSource(demoSrc, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graph, err := phasemark.Profile(prog, 6, 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(graph.Nodes) == 0 || len(graph.Edges) == 0 {
+		t.Fatal("empty graph")
+	}
+	set := phasemark.Select(graph, phasemark.SelectOptions{ILower: 50_000})
+	if len(set.Markers) == 0 {
+		t.Fatal("no markers selected")
+	}
+	// Cross-input application.
+	res, err := phasemark.Segment(prog, set, 12, 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Intervals) < 3 {
+		t.Fatalf("only %d intervals", len(res.Intervals))
+	}
+	cov := phasemark.PhaseCoV(res.Intervals, phasemark.IntervalPhase, phasemark.CPIMetric)
+	fixed, err := phasemark.SegmentFixed(prog, 50_000, 12, 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole := phasemark.PhaseCoV(fixed.Intervals,
+		func(*phasemark.Interval) int { return 0 }, phasemark.CPIMetric)
+	if cov.CoV >= whole.CoV {
+		t.Fatalf("marker phases CoV %v not below whole-program %v", cov.CoV, whole.CoV)
+	}
+}
+
+func TestCrossBinaryFacade(t *testing.T) {
+	plain, err := phasemark.CompileSource(demoSrc, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := phasemark.CompileSource(demoSrc, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graph, err := phasemark.Profile(plain, 4, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := phasemark.Select(graph, phasemark.SelectOptions{ILower: 20_000})
+	mapped, n, err := phasemark.MapMarkers(set, plain, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(set.Markers) {
+		t.Fatalf("mapped %d of %d markers", n, len(set.Markers))
+	}
+	t0, err := phasemark.MarkerTrace(plain, set, 4, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, err := phasemark.MarkerTrace(opt, mapped, 4, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t0) == 0 || len(t0) != len(t1) {
+		t.Fatalf("trace lengths: %d vs %d", len(t0), len(t1))
+	}
+	for i := range t0 {
+		if t0[i] != t1[i] {
+			t.Fatalf("traces differ at %d", i)
+		}
+	}
+}
