@@ -29,7 +29,11 @@ import (
 // does, so the full bench run stays tractable.
 var sharedSuite = experiments.NewSuite()
 
-func avgColumn(t *experiments.Table, col string) float64 {
+// avgColumn extracts the avg-row value of a named column. A missing
+// column or unparseable cell fails the benchmark: a silent 0 here would
+// report a fake headline metric after a table rename.
+func avgColumn(b *testing.B, t *experiments.Table, col string) float64 {
+	b.Helper()
 	ci := -1
 	for i, c := range t.Cols {
 		if c == col {
@@ -37,11 +41,21 @@ func avgColumn(t *experiments.Table, col string) float64 {
 		}
 	}
 	if ci < 0 {
-		return 0
+		b.Fatalf("avgColumn: no column %q in table (cols: %v)", col, t.Cols)
+	}
+	if len(t.Rows) == 0 {
+		b.Fatalf("avgColumn: table with column %q has no rows", col)
 	}
 	last := t.Rows[len(t.Rows)-1] // avg row
 	s := strings.TrimSuffix(strings.TrimSuffix(last[ci], "%"), "M")
-	v, _ := strconv.ParseFloat(strings.Fields(s)[0], 64)
+	fields := strings.Fields(s)
+	if len(fields) == 0 {
+		b.Fatalf("avgColumn: empty avg cell in column %q", col)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		b.Fatalf("avgColumn: cannot parse avg cell %q in column %q: %v", last[ci], col, err)
+	}
 	return v
 }
 
@@ -77,8 +91,8 @@ func BenchmarkFig7IntervalLength(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-	b.ReportMetric(avgColumn(t, "no-limit self"), "avgIntervalM/noLimitSelf")
-	b.ReportMetric(avgColumn(t, "limit 100k-2m"), "avgIntervalM/limit")
+	b.ReportMetric(avgColumn(b, t, "no-limit self"), "avgIntervalM/noLimitSelf")
+	b.ReportMetric(avgColumn(b, t, "limit 100k-2m"), "avgIntervalM/limit")
 }
 
 func BenchmarkFig8PhaseCount(b *testing.B) {
@@ -89,8 +103,8 @@ func BenchmarkFig8PhaseCount(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-	b.ReportMetric(avgColumn(t, "BBV"), "phases/BBV")
-	b.ReportMetric(avgColumn(t, "no-limit self"), "phases/noLimitSelf")
+	b.ReportMetric(avgColumn(b, t, "BBV"), "phases/BBV")
+	b.ReportMetric(avgColumn(b, t, "no-limit self"), "phases/noLimitSelf")
 }
 
 func BenchmarkFig9CoV(b *testing.B) {
@@ -101,8 +115,8 @@ func BenchmarkFig9CoV(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-	b.ReportMetric(avgColumn(t, "no-limit self"), "covCPIpct/markers")
-	b.ReportMetric(avgColumn(t, "100k whole"), "covCPIpct/wholeProgram")
+	b.ReportMetric(avgColumn(b, t, "no-limit self"), "covCPIpct/markers")
+	b.ReportMetric(avgColumn(b, t, "100k whole"), "covCPIpct/wholeProgram")
 }
 
 func BenchmarkFig10CacheReconfig(b *testing.B) {
@@ -113,8 +127,8 @@ func BenchmarkFig10CacheReconfig(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-	b.ReportMetric(avgColumn(t, "SPM-Cross"), "avgCacheKB/SPMCross")
-	b.ReportMetric(avgColumn(t, "BestFixed"), "avgCacheKB/bestFixed")
+	b.ReportMetric(avgColumn(b, t, "SPM-Cross"), "avgCacheKB/SPMCross")
+	b.ReportMetric(avgColumn(b, t, "BestFixed"), "avgCacheKB/bestFixed")
 }
 
 func BenchmarkFig11SimTime(b *testing.B) {
@@ -125,8 +139,8 @@ func BenchmarkFig11SimTime(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-	b.ReportMetric(avgColumn(t, "VLI_99%"), "simInstrM/VLI99")
-	b.ReportMetric(avgColumn(t, "SP_100k"), "simInstrM/SP100k")
+	b.ReportMetric(avgColumn(b, t, "VLI_99%"), "simInstrM/VLI99")
+	b.ReportMetric(avgColumn(b, t, "SP_100k"), "simInstrM/SP100k")
 }
 
 func BenchmarkFig12CPIError(b *testing.B) {
@@ -137,8 +151,8 @@ func BenchmarkFig12CPIError(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-	b.ReportMetric(avgColumn(t, "VLI_99%"), "cpiErrPct/VLI99")
-	b.ReportMetric(avgColumn(t, "SP_100k"), "cpiErrPct/SP100k")
+	b.ReportMetric(avgColumn(b, t, "VLI_99%"), "cpiErrPct/VLI99")
+	b.ReportMetric(avgColumn(b, t, "SP_100k"), "cpiErrPct/SP100k")
 }
 
 func BenchmarkCrossBinaryTraces(b *testing.B) {

@@ -3,19 +3,27 @@
 //
 // Usage:
 //
-//	spexp -fig all          # everything (several minutes)
+//	spexp -fig all          # everything (minutes at -j 1; see -j)
 //	spexp -fig 7            # one figure: 3,4,5,7,8,9,10,11,12
 //	spexp -fig crossbinary  # the §6.2.1 cross-binary study
 //	spexp -fig speed        # the §5.1 selection-cost table
+//	spexp -fig all -j 8     # profile workloads on 8 workers
 //
 // Figure 5 covers the paper's Figures 5 and 6 (one comparison), and
 // Figures 7/8/9 share their underlying runs, as do 11/12.
+//
+// Workloads are evaluated in parallel on -j workers (default GOMAXPROCS);
+// tables are assembled in deterministic workload order, so stdout is
+// byte-identical at any -j. The only exception is the §5.1 analysis-cost
+// table, whose cells are wall-clock measurements. Per-figure timing lines
+// go to stderr so stdout stays diffable.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -24,27 +32,11 @@ import (
 
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 3,4,5,7,8,9,10,11,12,crossbinary,speed,scales,all")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "workloads to evaluate in parallel")
 	flag.Parse()
 
 	s := experiments.NewSuite()
-	type figFn struct {
-		name string
-		fn   func() (*experiments.Table, error)
-	}
-	all := []figFn{
-		{"3", s.Fig3},
-		{"4", s.Fig4},
-		{"5", s.Fig56},
-		{"7", s.Fig7},
-		{"8", s.Fig8},
-		{"9", s.Fig9},
-		{"10", s.Fig10},
-		{"11", s.Fig11},
-		{"12", s.Fig12},
-		{"crossbinary", s.CrossBinary},
-		{"speed", s.SelectionSpeed},
-		{"scales", s.Scales},
-	}
+	s.SetParallelism(*jobs)
 	want := map[string]bool{}
 	for _, f := range strings.Split(*fig, ",") {
 		f = strings.TrimSpace(f)
@@ -54,18 +46,18 @@ func main() {
 		want[f] = true
 	}
 	ran := 0
-	for _, ff := range all {
-		if !want["all"] && !want[ff.name] {
+	for _, ff := range experiments.Figures {
+		if !want["all"] && !want[ff.Name] {
 			continue
 		}
 		start := time.Now()
-		t, err := ff.fn()
+		t, err := ff.Fn(s)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "spexp: figure %s: %v\n", ff.name, err)
+			fmt.Fprintf(os.Stderr, "spexp: figure %s: %v\n", ff.Name, err)
 			os.Exit(1)
 		}
 		t.Render(os.Stdout)
-		fmt.Printf("(figure %s computed in %v)\n\n", ff.name, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr, "(figure %s computed in %v)\n", ff.Name, time.Since(start).Round(time.Millisecond))
 		ran++
 	}
 	if ran == 0 {

@@ -18,6 +18,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"phasemark/internal/minivm"
 	"phasemark/internal/stats"
@@ -129,7 +130,12 @@ type Graph struct {
 
 	nodes    map[NodeKey]*Node
 	edges    map[EdgeKey]*Edge
-	blockIdx []*minivm.Block // global block ID -> block, built lazily
+	blockIdx []*minivm.Block // global block ID -> block, built in NewGraph
+
+	// depthOnce guards the one EstimateDepths run triggered by read-side
+	// consumers (SelectMarkers, Dump), so a finished graph can be shared
+	// by concurrent selections without racing on Node.Depth.
+	depthOnce sync.Once
 }
 
 // NewGraph builds an empty graph over prog (loop table computed here).
@@ -139,6 +145,12 @@ func NewGraph(prog *minivm.Program) *Graph {
 		Loops: minivm.FindLoops(prog),
 		nodes: map[NodeKey]*Node{},
 		edges: map[EdgeKey]*Edge{},
+	}
+	g.blockIdx = make([]*minivm.Block, prog.NumBlocks)
+	for _, pr := range prog.Procs {
+		for _, b := range pr.Blocks {
+			g.blockIdx[b.ID] = b
+		}
 	}
 	g.Root = g.node(NodeKey{Kind: RootKind, ID: 0}, nil, nil)
 	return g
@@ -194,6 +206,14 @@ func (g *Graph) EdgeByKey(k EdgeKey) *Edge { return g.edges[k] }
 // NodeByKey looks up a node, or nil.
 func (g *Graph) NodeByKey(k NodeKey) *Node { return g.nodes[k] }
 
+// ensureDepths runs EstimateDepths exactly once per graph. Consumers that
+// only read a finished graph (marker selection, dumping) go through this,
+// which makes sharing one profiled graph across concurrent SelectMarkers
+// calls safe: after the first (synchronized) run, Node.Depth is read-only.
+// Call EstimateDepths directly to force a recomputation after growing the
+// graph further.
+func (g *Graph) ensureDepths() { g.depthOnce.Do(g.EstimateDepths) }
+
 // EstimateDepths computes, for every node, an estimate of the maximum
 // depth from the root, using the paper's modified depth-first search: a
 // node is re-traversed when a longer path to it is found, but never
@@ -245,7 +265,7 @@ func (g *Graph) NodesByReverseDepth() []*Node {
 
 // Dump renders the graph in a stable order for debugging and the CLI.
 func (g *Graph) Dump() string {
-	g.EstimateDepths()
+	g.ensureDepths()
 	var out string
 	for _, n := range g.NodesByReverseDepth() {
 		out += fmt.Sprintf("%s (depth %d)\n", n.Label(), n.Depth)

@@ -68,14 +68,6 @@ func (g *Graph) ensureEdge(k EdgeKey) *Edge {
 }
 
 func (g *Graph) blockByID(id int) *minivm.Block {
-	if g.blockIdx == nil {
-		g.blockIdx = make([]*minivm.Block, g.Prog.NumBlocks)
-		for _, pr := range g.Prog.Procs {
-			for _, b := range pr.Blocks {
-				g.blockIdx[b.ID] = b
-			}
-		}
-	}
 	if id < 0 || id >= len(g.blockIdx) {
 		return nil
 	}

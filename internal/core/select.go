@@ -105,7 +105,7 @@ func (s *MarkerSet) String() string {
 // With MaxLimit set it additionally enforces the maximum interval size and
 // merges loop iterations (§5.2).
 func SelectMarkers(g *Graph, opts SelectOptions) *MarkerSet {
-	g.EstimateDepths()
+	g.ensureDepths()
 	queue := g.NodesByReverseDepth()
 
 	allowed := func(e *Edge) bool {

@@ -1,0 +1,83 @@
+package experiments
+
+import "sync"
+
+// cell is a once-computed memoization slot with singleflight semantics:
+// the first caller computes, concurrent callers block on that computation
+// (not on a suite-wide lock) and share its outcome, and a successful value
+// is cached forever. Errors are deliberately NOT cached — the in-flight
+// waiters of a failed computation receive the leader's error, but the next
+// caller retries from scratch, so a transient failure can't poison the
+// suite for the rest of the run.
+//
+// No lock is held while compute runs, so a compute function may freely
+// call get on *other* cells (the figure harnesses chain graph → marker set
+// → trace → clustering). Re-entering the *same* cell from its own compute
+// function would deadlock, exactly like a recursive sync.Once.Do.
+type cell[T any] struct {
+	mu       sync.Mutex
+	done     bool
+	val      T
+	inflight *flight[T]
+}
+
+// flight is one in-progress computation; waiters block on ch and then read
+// val/err, which are written exactly once before ch is closed.
+type flight[T any] struct {
+	ch  chan struct{}
+	val T
+	err error
+}
+
+// get returns the cached value, joins an in-flight computation, or runs
+// compute itself.
+func (c *cell[T]) get(compute func() (T, error)) (T, error) {
+	c.mu.Lock()
+	if c.done {
+		v := c.val
+		c.mu.Unlock()
+		return v, nil
+	}
+	if f := c.inflight; f != nil {
+		c.mu.Unlock()
+		<-f.ch
+		return f.val, f.err
+	}
+	f := &flight[T]{ch: make(chan struct{})}
+	c.inflight = f
+	c.mu.Unlock()
+
+	f.val, f.err = compute()
+
+	c.mu.Lock()
+	if f.err == nil {
+		c.val, c.done = f.val, true
+	}
+	c.inflight = nil
+	c.mu.Unlock()
+	close(f.ch)
+	return f.val, f.err
+}
+
+// cellMap is a keyed collection of cells. The map lock is held only to
+// find-or-create the key's cell; the computation itself synchronizes on
+// the cell, so distinct keys compute concurrently.
+type cellMap[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*cell[V]
+}
+
+// get finds or creates the cell for k and delegates to cell.get.
+func (cm *cellMap[K, V]) get(k K, compute func() (V, error)) (V, error) {
+	cm.mu.Lock()
+	if cm.m == nil {
+		cm.m = map[K]*cell[V]{}
+	}
+	c := cm.m[k]
+	if c == nil {
+		c = &cell[V]{}
+		cm.m[k] = c
+	}
+	cm.mu.Unlock()
+	return c.get(compute)
+}

@@ -26,38 +26,40 @@ func (s *Suite) CrossBinary() (*Table, error) {
 		Cols: []string{"program", "markers", "fires -O0",
 			"opt mapped", "opt match", "stack mapped", "stack match"},
 	}
-	for _, w := range workloads.All() {
+	ws := workloads.All()
+	rows := make([][]string, len(ws))
+	err := s.ForEachWorkload(ws, func(i int, w *workloads.Workload) error {
 		d, err := s.wd(w)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		set, err := d.markerSet("no-limit cross")
 		if err != nil {
-			return nil, err
+			return err
 		}
 		tr0, err := crossbin.Trace(d.prog, set, w.Ref...)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := []string{w.Name, itoa(len(set.Markers)), itoa(len(tr0))}
 		for _, mode := range []compile.Options{{Optimize: true}, {Stack: true}} {
 			f, err := lang.Parse(w.Source)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			bin, err := compile.Compile(f, mode)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			mapped, rep, err := crossbin.MapMarkers(set, d.prog, bin)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			match := "-"
 			if len(rep.Unmapped) == 0 {
 				tr1, err := crossbin.Trace(bin, mapped, w.Ref...)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				if crossbin.TracesEqual(tr0, tr1) {
 					match = "YES"
@@ -67,6 +69,13 @@ func (s *Suite) CrossBinary() (*Table, error) {
 			}
 			row = append(row, itoa(rep.Mapped), match)
 		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
 		t.AddRow(row...)
 	}
 	return t, nil
@@ -87,14 +96,16 @@ func (s *Suite) SelectionSpeed() (*Table, error) {
 		Note:  fmt.Sprintf("Sequitur timed on the first %d block events of the train run (a generous lower bound)", seqCap),
 		Cols:  []string{"program", "nodes", "edges", "select time", "trace events", "sequitur time", "ratio"},
 	}
-	for _, w := range workloads.All() {
+	ws := workloads.All()
+	rows := make([][]string, len(ws))
+	err := s.ForEachWorkload(ws, func(i int, w *workloads.Workload) error {
 		d, err := s.wd(w)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		g, err := d.graph(true)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		start := time.Now()
 		core.SelectMarkers(g, core.SelectOptions{ILower: ILower})
@@ -104,17 +115,24 @@ func (s *Suite) SelectionSpeed() (*Table, error) {
 		tr := &traceCap{cap: seqCap}
 		m := minivm.NewMachine(d.prog, tr)
 		if _, err := m.Run(d.w.Train...); err != nil {
-			return nil, err
+			return err
 		}
 		start = time.Now()
 		gram := sequitur.Build(tr.seq)
 		seq := time.Since(start)
 		_ = gram
 		ratio := float64(seq) / float64(sel)
-		t.AddRow(w.Name, itoa(len(g.Nodes)), itoa(len(g.Edges)),
+		rows[i] = []string{w.Name, itoa(len(g.Nodes)), itoa(len(g.Edges)),
 			sel.Round(time.Microsecond).String(),
 			itoa(len(tr.seq)), seq.Round(time.Millisecond).String(),
-			fmt.Sprintf("%.0fx", ratio))
+			fmt.Sprintf("%.0fx", ratio)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return t, nil
 }

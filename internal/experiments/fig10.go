@@ -111,24 +111,30 @@ func (s *Suite) Fig10() (*Table, error) {
 		}
 		suite = append(suite, w)
 	}
-	var sums [6]float64
-	n := 0
-	for _, w := range suite {
+	evs := make([]*fig10Eval, len(suite))
+	err := s.ForEachWorkload(suite, func(i int, w *workloads.Workload) error {
 		ev, err := s.fig10One(w)
 		if err != nil {
-			return nil, fmt.Errorf("fig10 %s: %w", w.Name, err)
+			return fmt.Errorf("fig10 %s: %w", w.Name, err)
 		}
+		evs[i] = ev
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var sums [6]float64
+	for _, ev := range evs {
 		row := []string{ev.Name}
 		for i, p := range ev.all() {
 			row = append(row, policyCell(p))
 			sums[i] += p.AvgCacheKB
 		}
 		t.AddRow(row...)
-		n++
 	}
 	row := []string{"avg KB"}
 	for _, v := range sums {
-		row = append(row, f1(v/float64(n)))
+		row = append(row, f1(v/float64(len(evs))))
 	}
 	t.AddRow(row...)
 	return t, nil

@@ -60,13 +60,18 @@ func (s *Suite) spOne(w *workloads.Workload) (*spEval, error) {
 }
 
 func (s *Suite) spAll() ([]*spEval, error) {
-	var out []*spEval
-	for _, w := range workloads.Suite79() {
+	ws := workloads.Suite79()
+	out := make([]*spEval, len(ws))
+	err := s.ForEachWorkload(ws, func(i int, w *workloads.Workload) error {
 		ev, err := s.spOne(w)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, ev)
+		out[i] = ev
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -76,15 +76,22 @@ var approachOrder = []string{
 	"no-limit cross", "no-limit self", "limit 100k-2m",
 }
 
-// Fig789 computes the shared evaluation for the eleven-program suite.
+// Fig789 computes the shared evaluation for the eleven-program suite,
+// profiling and tracing the workloads in parallel; the returned slice is
+// in suite order regardless of the parallelism level.
 func (s *Suite) Fig789() ([]*workloadEval, error) {
-	var out []*workloadEval
-	for _, w := range workloads.Suite79() {
+	ws := workloads.Suite79()
+	out := make([]*workloadEval, len(ws))
+	err := s.ForEachWorkload(ws, func(i int, w *workloads.Workload) error {
 		ev, err := s.evalWorkload(w)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, ev)
+		out[i] = ev
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

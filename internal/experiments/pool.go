@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"sync"
+
+	"phasemark/internal/workloads"
+)
+
+// ForEachWorkload evaluates fn for every workload of ws on up to
+// Parallelism() workers. fn receives the workload's index in ws so callers
+// can write results into an index-addressed slice and assemble table rows
+// in the original (deterministic) order afterwards.
+//
+// All workloads are evaluated even if one fails; the returned error is the
+// one from the lowest-indexed failing workload, so the outcome does not
+// depend on goroutine scheduling.
+func (s *Suite) ForEachWorkload(ws []*workloads.Workload, fn func(i int, w *workloads.Workload) error) error {
+	jobs := s.Parallelism()
+	if jobs > len(ws) {
+		jobs = len(ws)
+	}
+	if jobs <= 1 {
+		var first error
+		for i, w := range ws {
+			if err := fn(i, w); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+
+	errs := make([]error, len(ws))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for range jobs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				errs[i] = fn(i, ws[i])
+			}
+		}()
+	}
+	for i := range ws {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

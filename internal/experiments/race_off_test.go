@@ -1,0 +1,6 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled is set by race_on_test.go when building with -race.
+const raceEnabled = false

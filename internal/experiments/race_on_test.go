@@ -1,0 +1,10 @@
+//go:build race
+
+package experiments
+
+// raceEnabled gates the full-suite regression tests: regenerating every
+// figure is CPU-bound interpreter work that the race detector slows by an
+// order of magnitude, so under -race those tests are replaced by the
+// dedicated concurrency tests (which hammer the same engine on one
+// workload and are where the detector has something to find).
+const raceEnabled = true

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Two renderings of the same stream where only the §5.1 analysis-cost
+// table's wall-clock cells (and therefore its column widths) differ, as
+// happens between any two real runs.
+const maskRunA = `== Figure 8: number of phases detected ==
+program  BBV
+-------  ---
+art        7
+
+== §5.1: analysis cost — call-loop selection vs Sequitur-on-trace ==
+Sequitur timed on the first 300000 block events of the train run (a generous lower bound)
+program   nodes  edges  select time  trace events  sequitur time   ratio
+--------  -----  -----  -----------  ------------  -------------  ------
+applu        23     23        1.2µs        300000         92.1ms  76750x
+mcf          21     21       980ns         300000         88.4ms  90204x
+`
+
+const maskRunB = `== Figure 8: number of phases detected ==
+program  BBV
+-------  ---
+art        7
+
+== §5.1: analysis cost — call-loop selection vs Sequitur-on-trace ==
+Sequitur timed on the first 300000 block events of the train run (a generous lower bound)
+program   nodes  edges  select time  trace events  sequitur time    ratio
+--------  -----  -----  -----------  ------------  -------------  -------
+applu        23     23       890ns         300000        103.7ms  116517x
+mcf          21     21        1.1µs        300000         95.0ms   86363x
+`
+
+func TestMaskNondeterminismEqualizesSpeedTable(t *testing.T) {
+	a, b := MaskNondeterminism(maskRunA), MaskNondeterminism(maskRunB)
+	if a != b {
+		t.Errorf("masked streams still differ:\n--- a ---\n%s\n--- b ---\n%s", a, b)
+	}
+	if !strings.Contains(a, "<time>") || !strings.Contains(a, "<n>x") {
+		t.Errorf("wall-clock cells not masked:\n%s", a)
+	}
+	// The non-wall-clock content of the speed table survives masking.
+	for _, keep := range []string{"applu 23 23", "300000", "mcf 21 21"} {
+		if !strings.Contains(a, keep) {
+			t.Errorf("masking dropped pinned content %q:\n%s", keep, a)
+		}
+	}
+}
+
+func TestMaskNondeterminismLeavesOtherTablesUntouched(t *testing.T) {
+	got := MaskNondeterminism(maskRunA)
+	figure8 := maskRunA[:strings.Index(maskRunA, "== §5.1")]
+	if !strings.HasPrefix(got, figure8) {
+		t.Errorf("masking altered bytes outside the §5.1 section:\n%s", got)
+	}
+}
+
+func TestFiguresHaveUniqueNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, f := range Figures {
+		if seen[f.Name] {
+			t.Errorf("duplicate figure name %q", f.Name)
+		}
+		seen[f.Name] = true
+		if f.Fn == nil {
+			t.Errorf("figure %q has no function", f.Name)
+		}
+	}
+}

@@ -27,14 +27,16 @@ func (s *Suite) Scales() (*Table, error) {
 	for _, il := range scaleSweep {
 		t.Cols = append(t.Cols, fmt.Sprintf("ilower %s", millions(float64(il))))
 	}
-	for _, w := range workloads.Suite79() {
+	ws := workloads.Suite79()
+	rows := make([][]string, len(ws))
+	err := s.ForEachWorkload(ws, func(i int, w *workloads.Workload) error {
 		d, err := s.wd(w)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		g, err := d.graph(true)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := []string{w.Name}
 		for _, il := range scaleSweep {
@@ -51,11 +53,18 @@ func (s *Suite) Scales() (*Table, error) {
 				SkipBBV: true,
 			})
 			if err != nil {
-				return nil, err
+				return err
 			}
 			cov := trace.PhaseCoV(res.Intervals, trace.IntervalPhase, trace.CPIMetric)
 			row = append(row, fmt.Sprintf("%s/%d", millions(cov.AvgIntervalLen), len(set.Markers)))
 		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
 		t.AddRow(row...)
 	}
 	return t, nil

@@ -2,7 +2,7 @@ package experiments
 
 import (
 	"fmt"
-	"sync"
+	"runtime"
 
 	"phasemark/internal/core"
 	"phasemark/internal/minivm"
@@ -15,63 +15,76 @@ import (
 // Suite memoizes the expensive shared artifacts (profiles, marker sets,
 // traced executions, clusterings) across figures so `spexp -fig all` and
 // the benchmark suite don't recompute them per figure.
+//
+// Every artifact is a singleflight cell (see cell.go): concurrent
+// requesters of the same artifact block on its one computation, while
+// unrelated artifacts compute in parallel. The multi-workload figure
+// harnesses fan workloads out over ForEachWorkload and assemble their
+// table rows in deterministic workload order, so the rendered tables are
+// byte-identical at any parallelism level.
 type Suite struct {
-	mu   sync.Mutex
-	data map[string]*wdata
+	jobs int
+	data cellMap[string, *wdata]
 }
 
-// NewSuite builds an empty suite cache.
+// NewSuite builds an empty suite cache with parallelism GOMAXPROCS.
 func NewSuite() *Suite {
-	return &Suite{data: map[string]*wdata{}}
+	return &Suite{jobs: runtime.GOMAXPROCS(0)}
 }
 
-// wdata is the lazily computed per-workload state.
+// SetParallelism bounds the number of workloads evaluated concurrently by
+// the figure harnesses (values below 1 mean 1). Call it before running
+// figures; it is not synchronized against in-flight fan-outs.
+func (s *Suite) SetParallelism(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.jobs = n
+}
+
+// Parallelism reports the current workload-level parallelism bound.
+func (s *Suite) Parallelism() int {
+	if s.jobs < 1 {
+		return 1
+	}
+	return s.jobs
+}
+
+// wdata is the lazily computed per-workload state. The compiled program is
+// immutable and shared; each artifact class below is a keyed set of
+// singleflight cells.
 type wdata struct {
 	w    *workloads.Workload
 	prog *minivm.Program
 
-	graphs   map[bool]*core.Graph // keyed by isRef
-	sets     map[string]*core.MarkerSet
-	traces   map[string]*trace.Result
-	clusters map[string]*simpoint.Clustering
+	graphs   cellMap[bool, *core.Graph] // keyed by isRef
+	sets     cellMap[string, *core.MarkerSet]
+	traces   cellMap[string, *trace.Result]
+	clusters cellMap[string, *simpoint.Clustering]
 }
 
 func (s *Suite) wd(w *workloads.Workload) (*wdata, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if d, ok := s.data[w.Name]; ok {
-		return d, nil
-	}
-	prog, err := w.Compile(false)
-	if err != nil {
-		return nil, err
-	}
-	d := &wdata{
-		w:        w,
-		prog:     prog,
-		graphs:   map[bool]*core.Graph{},
-		sets:     map[string]*core.MarkerSet{},
-		traces:   map[string]*trace.Result{},
-		clusters: map[string]*simpoint.Clustering{},
-	}
-	s.data[w.Name] = d
-	return d, nil
+	return s.data.get(w.Name, func() (*wdata, error) {
+		prog, err := w.Compile(false)
+		if err != nil {
+			return nil, err
+		}
+		return &wdata{w: w, prog: prog}, nil
+	})
 }
 
 func (d *wdata) graph(ref bool) (*core.Graph, error) {
-	if g, ok := d.graphs[ref]; ok {
+	return d.graphs.get(ref, func() (*core.Graph, error) {
+		args := d.w.Train
+		if ref {
+			args = d.w.Ref
+		}
+		g, err := core.ProfileRun(d.prog, args...)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", d.w.Name, err)
+		}
 		return g, nil
-	}
-	args := d.w.Train
-	if ref {
-		args = d.w.Ref
-	}
-	g, err := core.ProfileRun(d.prog, args...)
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", d.w.Name, err)
-	}
-	d.graphs[ref] = g
-	return g, nil
+	})
 }
 
 // markerConfigs are the five marker-selection approaches of Figures 7–9.
@@ -88,20 +101,18 @@ var markerConfigs = []struct {
 }
 
 func (d *wdata) markerSet(name string) (*core.MarkerSet, error) {
-	if s, ok := d.sets[name]; ok {
-		return s, nil
-	}
 	for _, mc := range markerConfigs {
 		if mc.Name != name {
 			continue
 		}
-		g, err := d.graph(mc.Ref)
-		if err != nil {
-			return nil, err
-		}
-		set := core.SelectMarkers(g, mc.Opts)
-		d.sets[name] = set
-		return set, nil
+		mc := mc
+		return d.sets.get(name, func() (*core.MarkerSet, error) {
+			g, err := d.graph(mc.Ref)
+			if err != nil {
+				return nil, err
+			}
+			return core.SelectMarkers(g, mc.Opts), nil
+		})
 	}
 	return nil, fmt.Errorf("unknown marker config %q", name)
 }
@@ -111,43 +122,42 @@ func (d *wdata) markerSet(name string) (*core.MarkerSet, error) {
 // a marker-config name cuts at that set's firings (BBVs collected only for
 // the limit config, which feeds VLI SimPoint).
 func (d *wdata) traced(mode string) (*trace.Result, error) {
-	if r, ok := d.traces[mode]; ok {
-		return r, nil
-	}
-	cfg := trace.Config{
-		Prog: d.prog,
-		Args: d.w.Ref,
-		CPU:  uarch.DefaultConfig(),
-	}
-	var n uint64
-	if _, err := fmt.Sscanf(mode, "fixed:%d", &n); err == nil {
-		cfg.FixedLen = n
-	} else {
-		set, err := d.markerSet(mode)
-		if err != nil {
-			return nil, err
+	return d.traces.get(mode, func() (*trace.Result, error) {
+		cfg := trace.Config{
+			Prog: d.prog,
+			Args: d.w.Ref,
+			CPU:  uarch.DefaultConfig(),
 		}
-		cfg.Markers = set
-	}
-	r, err := trace.Run(cfg)
-	if err != nil {
-		return nil, fmt.Errorf("%s/%s: %w", d.w.Name, mode, err)
-	}
-	d.traces[mode] = r
-	return r, nil
+		var n uint64
+		if _, err := fmt.Sscanf(mode, "fixed:%d", &n); err == nil {
+			cfg.FixedLen = n
+		} else {
+			set, err := d.markerSet(mode)
+			if err != nil {
+				return nil, err
+			}
+			cfg.Markers = set
+		}
+		r, err := trace.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", d.w.Name, mode, err)
+		}
+		return r, nil
+	})
 }
 
 // clustered runs SimPoint classification over a traced mode's intervals.
 func (d *wdata) clustered(mode string, kmax int, seed uint64) (*simpoint.Clustering, *trace.Result, error) {
-	key := fmt.Sprintf("%s/k%d", mode, kmax)
 	res, err := d.traced(mode)
 	if err != nil {
 		return nil, nil, err
 	}
-	if c, ok := d.clusters[key]; ok {
-		return c, res, nil
+	key := fmt.Sprintf("%s/k%d", mode, kmax)
+	c, err := d.clusters.get(key, func() (*simpoint.Clustering, error) {
+		return simpoint.Classify(res, simpoint.Options{KMax: kmax, Dims: 15, Seed: seed, Restarts: 2, MaxIters: 40}), nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
-	c := simpoint.Classify(res, simpoint.Options{KMax: kmax, Dims: 15, Seed: seed, Restarts: 2, MaxIters: 40})
-	d.clusters[key] = c
 	return c, res, nil
 }
