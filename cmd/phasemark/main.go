@@ -13,6 +13,7 @@
 //	phasemark -workload art -stack                # analyze the stack-ISA binary
 //	phasemark -workload art -emit-asm             # dump the binary as clasm text
 //	phasemark -workload art -instrument           # dump the binary with markers inserted
+//	phasemark -workload art -metrics              # + observability summary on stderr
 //
 // Markers print one per line with their location, expected interval
 // length, traversal count, and hierarchical-count CoV.
@@ -31,6 +32,7 @@ import (
 	"phasemark/internal/core"
 	"phasemark/internal/lang"
 	"phasemark/internal/minivm"
+	"phasemark/internal/obs"
 	"phasemark/internal/workloads"
 )
 
@@ -50,8 +52,12 @@ func main() {
 		stack     = flag.Bool("stack", false, "compile with the stack-machine backend (second ISA)")
 		emitAsm   = flag.Bool("emit-asm", false, "dump the compiled binary as clasm assembly and exit")
 		doInstr   = flag.Bool("instrument", false, "dump the binary with mark instructions physically inserted")
+		metrics   = flag.Bool("metrics", false, "print an observability summary (stage timings, VM counters) to stderr after the run")
 	)
 	flag.Parse()
+	if *metrics {
+		defer obs.WriteSummary(os.Stderr)
+	}
 
 	if *list {
 		for _, w := range workloads.All() {

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+
+	"phasemark/internal/obs"
+)
+
+// benchObs is the compact per-stage cost record the repository's bench
+// trajectory tracks across commits: where the pipeline spent its time
+// (aggregated span durations) plus the headline work counters. It is a
+// subset of the full -metrics snapshot, stable enough to diff over time.
+type benchObs struct {
+	Schema   string            `json:"schema"`
+	Stages   []obs.StageSnap   `json:"stages"`
+	Counters []obs.CounterSnap `json:"counters"`
+}
+
+const benchObsSchema = "phasemark/bench-obs/v1"
+
+// writeBenchObs writes the current default-registry state as a bench
+// record. Stage and counter ordering is inherited from the snapshot
+// (sorted by name), so records diff cleanly.
+func writeBenchObs(w io.Writer) error {
+	snap := obs.Snapshot()
+	rec := benchObs{
+		Schema:   benchObsSchema,
+		Stages:   snap.Stages,
+		Counters: snap.Counters,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rec)
+}

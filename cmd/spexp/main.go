@@ -9,6 +9,10 @@
 //	spexp -fig speed        # the §5.1 selection-cost table
 //	spexp -fig all -j 8     # profile workloads on 8 workers
 //
+//	spexp -fig all -metrics out.json        # + metrics snapshot & BENCH_obs.json
+//	spexp -fig 7 -trace-out trace.json      # + Chrome trace (chrome://tracing)
+//	spexp -fig all -pprof localhost:6060    # + live net/http/pprof server
+//
 // Figure 5 covers the paper's Figures 5 and 6 (one comparison), and
 // Figures 7/8/9 share their underlying runs, as do 11/12.
 //
@@ -16,42 +20,65 @@
 // tables are assembled in deterministic workload order, so stdout is
 // byte-identical at any -j. The only exception is the §5.1 analysis-cost
 // table, whose cells are wall-clock measurements. Per-figure timing lines
-// go to stderr so stdout stays diffable.
+// go to stderr so stdout stays diffable — all observability output
+// likewise goes to stderr or to the files named by flags, never stdout.
+//
+// Naming a figure that does not exist is an error (exit 2), not a silent
+// no-op.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"time"
 
 	"phasemark/internal/experiments"
+	"phasemark/internal/obs"
 )
 
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 3,4,5,7,8,9,10,11,12,crossbinary,speed,scales,all")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "workloads to evaluate in parallel")
+	metricsOut := flag.String("metrics", "", "write a metrics snapshot (counters, histograms, per-stage durations) to this JSON file, plus BENCH_obs.json with per-stage totals")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON file of every pipeline stage span")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while figures run")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "spexp: pprof server: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "(pprof listening on http://%s/debug/pprof/)\n", *pprofAddr)
+	}
+	if *traceOut != "" {
+		obs.SetTraceCapture(true)
+	}
+
+	want, err := parseFigs(*fig)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spexp: %v\n", err)
+		os.Exit(2)
+	}
 
 	s := experiments.NewSuite()
 	s.SetParallelism(*jobs)
-	want := map[string]bool{}
-	for _, f := range strings.Split(*fig, ",") {
-		f = strings.TrimSpace(f)
-		if f == "6" {
-			f = "5"
-		}
-		want[f] = true
-	}
 	ran := 0
 	for _, ff := range experiments.Figures {
 		if !want["all"] && !want[ff.Name] {
 			continue
 		}
 		start := time.Now()
+		sp := obs.StartSpan("figure."+ff.Name, "")
 		t, err := ff.Fn(s)
+		sp.End()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "spexp: figure %s: %v\n", ff.Name, err)
 			os.Exit(1)
@@ -64,4 +91,92 @@ func main() {
 		fmt.Fprintf(os.Stderr, "spexp: no figure matches %q\n", *fig)
 		os.Exit(2)
 	}
+
+	if err := writeObservability(*metricsOut, *traceOut); err != nil {
+		fmt.Fprintf(os.Stderr, "spexp: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseFigs validates the comma-separated -fig list against the figure
+// registry. Unknown names are an error: a typo must not silently produce
+// an empty (or partial) report.
+func parseFigs(figs string) (map[string]bool, error) {
+	known := map[string]bool{"all": true}
+	names := make([]string, 0, len(experiments.Figures)+1)
+	for _, ff := range experiments.Figures {
+		known[ff.Name] = true
+		names = append(names, ff.Name)
+	}
+	names = append(names, "all")
+	sort.Strings(names)
+
+	want := map[string]bool{}
+	var unknown []string
+	for _, f := range strings.Split(figs, ",") {
+		f = strings.TrimSpace(f)
+		if f == "6" {
+			f = "5" // Figure 5 covers the paper's Figures 5 and 6
+		}
+		if !known[f] {
+			unknown = append(unknown, fmt.Sprintf("%q", f))
+			continue
+		}
+		want[f] = true
+	}
+	if len(unknown) > 0 {
+		return nil, fmt.Errorf("unknown figure %s (known: %s)",
+			strings.Join(unknown, ", "), strings.Join(names, ", "))
+	}
+	return want, nil
+}
+
+// writeObservability emits the post-run artifacts: the metrics snapshot
+// (plus BENCH_obs.json, the per-stage totals the benchmark trajectory
+// tracks), the Chrome trace, and a human-readable summary on stderr.
+func writeObservability(metricsOut, traceOut string) error {
+	if metricsOut == "" && traceOut == "" {
+		return nil
+	}
+	if metricsOut != "" {
+		f, err := os.Create(metricsOut)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteMetrics(f); err != nil {
+			f.Close()
+			return fmt.Errorf("writing %s: %w", metricsOut, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		b, err := os.Create("BENCH_obs.json")
+		if err != nil {
+			return err
+		}
+		if err := writeBenchObs(b); err != nil {
+			b.Close()
+			return fmt.Errorf("writing BENCH_obs.json: %w", err)
+		}
+		if err := b.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "(metrics written to %s, per-stage totals to BENCH_obs.json)\n", metricsOut)
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return fmt.Errorf("writing %s: %w", traceOut, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "(trace written to %s; load in chrome://tracing or ui.perfetto.dev)\n", traceOut)
+	}
+	obs.WriteSummary(os.Stderr)
+	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"phasemark/internal/minivm"
+	"phasemark/internal/obs"
 )
 
 // Profiler accumulates a call-loop graph from an execution. Use it as the
@@ -74,10 +75,18 @@ func (g *Graph) blockByID(id int) *minivm.Block {
 	return g.blockIdx[id]
 }
 
+var (
+	obsProfiles   = obs.NewCounter("core.profile.runs")
+	obsGraphNodes = obs.NewCounter("core.graph.nodes")
+	obsGraphEdges = obs.NewCounter("core.graph.edges")
+)
+
 // ProfileRun compiles nothing and runs nothing fancy: it executes prog on
 // args with a fresh profiler and returns the resulting call-loop graph.
 // This is the "analyze the binary with ATOM" step of the paper.
 func ProfileRun(prog *minivm.Program, args ...int64) (*Graph, error) {
+	sp := obs.StartSpan("core.profile_run", "")
+	defer sp.End()
 	p := NewProfiler(prog)
 	m := minivm.NewMachine(prog, p)
 	if _, err := m.Run(args...); err != nil {
@@ -86,5 +95,9 @@ func ProfileRun(prog *minivm.Program, args ...int64) (*Graph, error) {
 	if err := p.Finish(); err != nil {
 		return nil, err
 	}
-	return p.Graph(), nil
+	g := p.Graph()
+	obsProfiles.Inc()
+	obsGraphNodes.Add(uint64(len(g.Nodes)))
+	obsGraphEdges.Add(uint64(len(g.Edges)))
+	return g, nil
 }

@@ -4,6 +4,22 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"phasemark/internal/obs"
+)
+
+// Selection metrics: how much of the edge population each pass keeps.
+// "examined" counts every candidate-eligible edge pass 1 looked at,
+// "pruned" the ones its ILower test rejected; "selected"/"forced"/"merged"
+// classify the final marker set.
+var (
+	obsSelectRuns       = obs.NewCounter("core.select.runs")
+	obsSelectExamined   = obs.NewCounter("core.select.edges_examined")
+	obsSelectPruned     = obs.NewCounter("core.select.edges_pruned")
+	obsSelectCandidates = obs.NewCounter("core.select.candidates")
+	obsSelectSelected   = obs.NewCounter("core.select.selected")
+	obsSelectForced     = obs.NewCounter("core.select.forced")
+	obsSelectMerged     = obs.NewCounter("core.select.merged")
 )
 
 // SelectOptions configures the marker selection algorithm.
@@ -105,6 +121,9 @@ func (s *MarkerSet) String() string {
 // With MaxLimit set it additionally enforces the maximum interval size and
 // merges loop iterations (§5.2).
 func SelectMarkers(g *Graph, opts SelectOptions) *MarkerSet {
+	sp := obs.StartSpan("core.select_markers", "")
+	defer sp.End()
+	obsSelectRuns.Inc()
 	g.ensureDepths()
 	queue := g.NodesByReverseDepth()
 
@@ -119,14 +138,24 @@ func SelectMarkers(g *Graph, opts SelectOptions) *MarkerSet {
 	}
 
 	// Pass 1: prune by average hierarchical instruction count.
+	pass1 := sp.Child("core.select.pass1", "")
 	var candidates []*Edge
+	var examined uint64
 	for _, n := range queue {
 		for _, e := range sortedIn(n) {
-			if allowed(e) && e.Avg() >= float64(opts.ILower) {
+			if !allowed(e) {
+				continue
+			}
+			examined++
+			if e.Avg() >= float64(opts.ILower) {
 				candidates = append(candidates, e)
 			}
 		}
 	}
+	pass1.End()
+	obsSelectExamined.Add(examined)
+	obsSelectPruned.Add(examined - uint64(len(candidates)))
+	obsSelectCandidates.Add(uint64(len(candidates)))
 
 	// Threshold from the candidate population: programs inherently differ
 	// in variability, so the threshold adapts per profile (§5.1 pass 2).
@@ -168,6 +197,7 @@ func SelectMarkers(g *Graph, opts SelectOptions) *MarkerSet {
 	}
 
 	// Pass 2: apply thresholds in reverse depth order.
+	pass2 := sp.Child("core.select.pass2", "")
 	for _, n := range queue {
 		for _, e := range sortedIn(n) {
 			if !allowed(e) {
@@ -201,9 +231,19 @@ func SelectMarkers(g *Graph, opts SelectOptions) *MarkerSet {
 			}
 		}
 	}
+	pass2.End()
 	sort.Slice(set.Markers, func(i, j int) bool {
 		return set.Markers[i].Key.String() < set.Markers[j].Key.String()
 	})
+	obsSelectSelected.Add(uint64(len(set.Markers)))
+	for _, m := range set.Markers {
+		if m.Forced {
+			obsSelectForced.Inc()
+		}
+		if m.GroupN > 1 {
+			obsSelectMerged.Inc()
+		}
+	}
 	return set
 }
 

@@ -114,6 +114,91 @@ func TestCellErrorsAreNotCached(t *testing.T) {
 	}
 }
 
+func TestCellStatsAccounting(t *testing.T) {
+	var c cell[int]
+	boom := errors.New("boom")
+
+	// A failing leader with concurrent waiters: the leader is one miss
+	// (and one compute error); each waiter is a join_err, NOT a miss —
+	// they did no work and must not be confused with the fresh retry
+	// below.
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	for range 4 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.get(func() (int, error) {
+				<-release
+				return 0, boom
+			})
+		}()
+	}
+	for c.stats().Misses == 0 {
+		time.Sleep(time.Millisecond) // wait for a leader to take the flight
+	}
+	time.Sleep(20 * time.Millisecond) // let the other three pile up as waiters
+	close(release)
+	wg.Wait()
+	if s := c.stats(); s != (cellStats{Misses: 1, JoinErrs: 3, Errs: 1}) {
+		t.Errorf("after failed flight: stats = %+v, want 1 miss, 3 join_errs, 1 err", s)
+	}
+
+	// The fresh retry after the failure is a distinct miss.
+	if _, err := c.get(func() (int, error) { return 7, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.stats(); s.Misses != 2 || s.JoinErrs != 3 {
+		t.Errorf("after retry: stats = %+v, want 2 misses keeping 3 join_errs", s)
+	}
+
+	// Cached reads are hits.
+	c.get(func() (int, error) { return -1, nil })
+	c.get(func() (int, error) { return -1, nil })
+	if s := c.stats(); s.Hits != 2 {
+		t.Errorf("after cached reads: stats = %+v, want 2 hits", s)
+	}
+
+	// Waiters on a successful flight are joins.
+	var c2 cell[int]
+	started := make(chan struct{})
+	go2 := make(chan struct{})
+	var wg2 sync.WaitGroup
+	wg2.Add(1)
+	go func() {
+		defer wg2.Done()
+		c2.get(func() (int, error) {
+			close(started)
+			<-go2
+			return 1, nil
+		})
+	}()
+	<-started
+	for range 2 {
+		wg2.Add(1)
+		go func() {
+			defer wg2.Done()
+			c2.get(func() (int, error) { return 0, errors.New("never runs") })
+		}()
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(go2)
+	wg2.Wait()
+	if s := c2.stats(); s != (cellStats{Misses: 1, Joins: 2}) {
+		t.Errorf("successful flight: stats = %+v, want 1 miss, 2 joins", s)
+	}
+}
+
+func TestCellMapStatsAggregate(t *testing.T) {
+	var cm cellMap[string, int]
+	cm.get("a", func() (int, error) { return 1, nil }) // miss
+	cm.get("a", func() (int, error) { return 1, nil }) // hit
+	cm.get("b", func() (int, error) { return 2, nil }) // miss
+	if s := cm.stats(); s != (cellStats{Hits: 1, Misses: 2}) {
+		t.Errorf("cellMap stats = %+v, want 1 hit, 2 misses", s)
+	}
+}
+
 func TestCellReentrantChainDoesNotDeadlock(t *testing.T) {
 	// The figure harnesses chain cells: a clustering computes from a
 	// trace, which computes from a marker set, which computes from a

@@ -2,8 +2,22 @@ package experiments
 
 import (
 	"sync"
+	"time"
 
+	"phasemark/internal/obs"
 	"phasemark/internal/workloads"
+)
+
+// Worker-pool metrics. Queue wait is measured from the moment the
+// dispatcher offers a workload until a worker picks it up (the hand-off
+// channel is unbuffered, so this is exactly how long the item waited for a
+// free worker); exec is the workload evaluation itself.
+var (
+	obsPoolBatches   = obs.NewCounter("pool.batches")
+	obsPoolItems     = obs.NewCounter("pool.items")
+	obsPoolWorkers   = obs.NewGauge("pool.workers")
+	obsPoolQueueWait = obs.NewHist("pool.queue_wait_ns")
+	obsPoolExec      = obs.NewHist("pool.exec_ns")
 )
 
 // ForEachWorkload evaluates fn for every workload of ws on up to
@@ -19,30 +33,43 @@ func (s *Suite) ForEachWorkload(ws []*workloads.Workload, fn func(i int, w *work
 	if jobs > len(ws) {
 		jobs = len(ws)
 	}
+	obsPoolBatches.Inc()
+	obsPoolItems.Add(uint64(len(ws)))
+	obsPoolWorkers.Set(int64(jobs))
 	if jobs <= 1 {
 		var first error
 		for i, w := range ws {
-			if err := fn(i, w); err != nil && first == nil {
+			t0 := time.Now()
+			err := fn(i, w)
+			obsPoolExec.Observe(uint64(time.Since(t0)))
+			if err != nil && first == nil {
 				first = err
 			}
 		}
 		return first
 	}
 
+	type item struct {
+		i  int
+		at time.Time // when the dispatcher offered the item
+	}
 	errs := make([]error, len(ws))
-	idx := make(chan int)
+	idx := make(chan item)
 	var wg sync.WaitGroup
 	for range jobs {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range idx {
-				errs[i] = fn(i, ws[i])
+			for it := range idx {
+				start := time.Now()
+				obsPoolQueueWait.Observe(uint64(start.Sub(it.at)))
+				errs[it.i] = fn(it.i, ws[it.i])
+				obsPoolExec.Observe(uint64(time.Since(start)))
 			}
 		}()
 	}
 	for i := range ws {
-		idx <- i
+		idx <- item{i: i, at: time.Now()}
 	}
 	close(idx)
 	wg.Wait()

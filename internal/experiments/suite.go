@@ -6,6 +6,7 @@ import (
 
 	"phasemark/internal/core"
 	"phasemark/internal/minivm"
+	"phasemark/internal/obs"
 	"phasemark/internal/simpoint"
 	"phasemark/internal/trace"
 	"phasemark/internal/uarch"
@@ -63,8 +64,40 @@ type wdata struct {
 	clusters cellMap[string, *simpoint.Clustering]
 }
 
+// CellStats aggregates the hit/miss/join accounting of every singleflight
+// cell the suite has created so far (workload data plus each workload's
+// graphs, marker sets, traces, and clusterings).
+func (s *Suite) CellStats() cellStats {
+	agg := s.data.stats()
+	s.data.mu.Lock()
+	ds := make([]*cell[*wdata], 0, len(s.data.m))
+	for _, c := range s.data.m {
+		ds = append(ds, c)
+	}
+	s.data.mu.Unlock()
+	for _, c := range ds {
+		c.mu.Lock()
+		d := c.val
+		c.mu.Unlock()
+		if d == nil {
+			continue
+		}
+		agg = agg.add(d.graphs.stats())
+		agg = agg.add(d.sets.stats())
+		agg = agg.add(d.traces.stats())
+		agg = agg.add(d.clusters.stats())
+	}
+	return agg
+}
+
+// The suite-level spans below time the actual artifact computations (cell
+// misses) with the workload name as the span argument; cache hits and
+// joins cost no span. Finer-grained spans inside core / trace / simpoint
+// ("core.select.pass1", "trace.exec", ...) time the algorithm internals.
 func (s *Suite) wd(w *workloads.Workload) (*wdata, error) {
 	return s.data.get(w.Name, func() (*wdata, error) {
+		sp := obs.StartSpan("workload.compile", w.Name)
+		defer sp.End()
 		prog, err := w.Compile(false)
 		if err != nil {
 			return nil, err
@@ -75,6 +108,8 @@ func (s *Suite) wd(w *workloads.Workload) (*wdata, error) {
 
 func (d *wdata) graph(ref bool) (*core.Graph, error) {
 	return d.graphs.get(ref, func() (*core.Graph, error) {
+		sp := obs.StartSpan("graph.build", d.w.Name)
+		defer sp.End()
 		args := d.w.Train
 		if ref {
 			args = d.w.Ref
@@ -111,6 +146,8 @@ func (d *wdata) markerSet(name string) (*core.MarkerSet, error) {
 			if err != nil {
 				return nil, err
 			}
+			sp := obs.StartSpan("select.markers", d.w.Name+"/"+name)
+			defer sp.End()
 			return core.SelectMarkers(g, mc.Opts), nil
 		})
 	}
@@ -138,6 +175,10 @@ func (d *wdata) traced(mode string) (*trace.Result, error) {
 			}
 			cfg.Markers = set
 		}
+		// The span starts after the marker-set dependency resolves, so
+		// "trace.run" times only the traced execution itself.
+		sp := obs.StartSpan("trace.run", d.w.Name+"/"+mode)
+		defer sp.End()
 		r, err := trace.Run(cfg)
 		if err != nil {
 			return nil, fmt.Errorf("%s/%s: %w", d.w.Name, mode, err)
@@ -154,6 +195,8 @@ func (d *wdata) clustered(mode string, kmax int, seed uint64) (*simpoint.Cluster
 	}
 	key := fmt.Sprintf("%s/k%d", mode, kmax)
 	c, err := d.clusters.get(key, func() (*simpoint.Clustering, error) {
+		sp := obs.StartSpan("simpoint.classify", d.w.Name+"/"+key)
+		defer sp.End()
 		return simpoint.Classify(res, simpoint.Options{KMax: kmax, Dims: 15, Seed: seed, Restarts: 2, MaxIters: 40}), nil
 	})
 	if err != nil {

@@ -3,6 +3,8 @@ package minivm
 import (
 	"errors"
 	"fmt"
+
+	"phasemark/internal/obs"
 )
 
 // Observer watches a program execute. It is the moral equivalent of the
@@ -103,6 +105,20 @@ const DefaultMaxInstrs = 2_000_000_000
 // DefaultMaxDepth bounds the call stack.
 const DefaultMaxDepth = 100_000
 
+// Execution metrics, aggregated across every machine in the process. The
+// interpreter counts events in plain per-machine fields (the inner loop is
+// single-goroutine) and flushes the deltas once per Run, so the hot loop
+// pays no atomic operations.
+var (
+	obsRuns     = obs.NewCounter("minivm.runs")
+	obsInstrs   = obs.NewCounter("minivm.instructions")
+	obsBranches = obs.NewCounter("minivm.branches")
+	obsCalls    = obs.NewCounter("minivm.calls")
+	obsMemRefs  = obs.NewCounter("minivm.mem_refs")
+	obsMarks    = obs.NewCounter("minivm.marker_fires")
+	obsRunLen   = obs.NewHist("minivm.run_instructions")
+)
+
 // Machine executes a validated Program. The zero value is not usable; use
 // NewMachine.
 type Machine struct {
@@ -111,6 +127,11 @@ type Machine struct {
 	obs       Observer
 	out       []int64
 	instrs    uint64
+	branches  uint64
+	calls     uint64
+	memRefs   uint64
+	marks     uint64
+	flushed   [5]uint64 // instrs/branches/calls/memRefs/marks already flushed
 	MaxInstrs uint64
 	MaxDepth  int
 	// MarkFunc, when set, receives the ID of every OpMark instruction
@@ -137,6 +158,29 @@ func NewMachine(prog *Program, obs Observer) *Machine {
 // (block weights summed over executed blocks).
 func (m *Machine) Instructions() uint64 { return m.instrs }
 
+// Branches reports the number of conditional branches executed so far.
+func (m *Machine) Branches() uint64 { return m.branches }
+
+// Calls reports the number of procedure calls executed so far.
+func (m *Machine) Calls() uint64 { return m.calls }
+
+// MemRefs reports the number of data memory references executed so far.
+func (m *Machine) MemRefs() uint64 { return m.memRefs }
+
+// flushObs folds the counts accumulated since the previous flush into the
+// process-wide metrics. Run defers it, so truncated (errored) executions
+// are still accounted.
+func (m *Machine) flushObs() {
+	obsRuns.Inc()
+	obsRunLen.Observe(m.instrs - m.flushed[0])
+	obsInstrs.Add(m.instrs - m.flushed[0])
+	obsBranches.Add(m.branches - m.flushed[1])
+	obsCalls.Add(m.calls - m.flushed[2])
+	obsMemRefs.Add(m.memRefs - m.flushed[3])
+	obsMarks.Add(m.marks - m.flushed[4])
+	m.flushed = [5]uint64{m.instrs, m.branches, m.calls, m.memRefs, m.marks}
+}
+
 // Output returns the values emitted by OpOut, in order.
 func (m *Machine) Output() []int64 { return m.out }
 
@@ -159,6 +203,7 @@ func (m *Machine) Run(args ...int64) (int64, error) {
 		return 0, fmt.Errorf("minivm: entry %q wants %d args, got %d",
 			entry.Name, entry.NumArgs, len(args))
 	}
+	defer m.flushObs()
 	regs := make([]int64, entry.NumRegs)
 	copy(regs, args)
 	stack := []frame{{proc: entry, regs: regs}}
@@ -219,6 +264,7 @@ func (m *Machine) Run(args ...int64) (int64, error) {
 				if addr < 0 || addr >= int64(len(m.mem)) {
 					return 0, fmt.Errorf("%w: load word %d in %s b%d", ErrMemFault, addr, fr.proc.Name, b.Index)
 				}
+				m.memRefs++
 				m.obs.OnMem(uint64(addr)*WordBytes, false)
 				regs[in.A] = m.mem[addr]
 			case OpStore:
@@ -226,11 +272,13 @@ func (m *Machine) Run(args ...int64) (int64, error) {
 				if addr < 0 || addr >= int64(len(m.mem)) {
 					return 0, fmt.Errorf("%w: store word %d in %s b%d", ErrMemFault, addr, fr.proc.Name, b.Index)
 				}
+				m.memRefs++
 				m.obs.OnMem(uint64(addr)*WordBytes, true)
 				m.mem[addr] = regs[in.A]
 			case OpOut:
 				m.out = append(m.out, regs[in.A])
 			case OpMark:
+				m.marks++
 				if m.MarkFunc != nil {
 					m.MarkFunc(in.Imm)
 				}
@@ -242,6 +290,7 @@ func (m *Machine) Run(args ...int64) (int64, error) {
 		case TermJump:
 			bi = t.Target
 		case TermBranch:
+			m.branches++
 			taken := t.Cond.Eval(regs[t.A], regs[t.B])
 			m.obs.OnBranch(b, taken)
 			if taken {
@@ -250,6 +299,7 @@ func (m *Machine) Run(args ...int64) (int64, error) {
 				bi = t.Else
 			}
 		case TermCall:
+			m.calls++
 			if len(stack) >= m.MaxDepth {
 				return 0, ErrStackOverflow
 			}

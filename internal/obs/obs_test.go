@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrentIncrements(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x")
+	const workers, per = 16, 10_000
+	var wg sync.WaitGroup
+	for range workers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Half the goroutines re-resolve the handle by name: same
+			// counter either way.
+			cc := r.Counter("x")
+			for i := 0; i < per; i++ {
+				if i%2 == 0 {
+					c.Inc()
+				} else {
+					cc.Inc()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != workers*per {
+		t.Errorf("counter = %d, want %d", got, workers*per)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Hist("lat")
+	const workers, per = 8, 5_000
+	var wg sync.WaitGroup
+	for w := range workers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(uint64(w*per + i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("count = %d, want %d", got, workers*per)
+	}
+	n := uint64(workers * per)
+	wantSum := n * (n - 1) / 2
+	if got := h.Sum(); got != wantSum {
+		t.Errorf("sum = %d, want %d", got, wantSum)
+	}
+	snap := r.Snapshot()
+	hs := snap.Histograms[0]
+	if hs.Min != 0 || hs.Max != n-1 {
+		t.Errorf("min/max = %d/%d, want 0/%d", hs.Min, hs.Max, n-1)
+	}
+	var bucketTotal uint64
+	for _, b := range hs.Buckets {
+		bucketTotal += b.Count
+	}
+	if bucketTotal != n {
+		t.Errorf("bucket counts sum to %d, want %d", bucketTotal, n)
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Hist("b")
+	for _, v := range []uint64{0, 1, 2, 3, 4, 1023, 1024} {
+		h.Observe(v)
+	}
+	hs := r.Snapshot().Histograms[0]
+	// Expected buckets: le=0 {0}, le=1 {1}, le=3 {2,3}, le=7 {4},
+	// le=1023 {1023}, le=2047 {1024}.
+	want := []BucketSnap{
+		{Le: 0, Count: 1}, {Le: 1, Count: 1}, {Le: 3, Count: 2},
+		{Le: 7, Count: 1}, {Le: 1023, Count: 1}, {Le: 2047, Count: 1},
+	}
+	if len(hs.Buckets) != len(want) {
+		t.Fatalf("buckets = %+v, want %+v", hs.Buckets, want)
+	}
+	for i, b := range hs.Buckets {
+		if b != want[i] {
+			t.Errorf("bucket %d = %+v, want %+v", i, b, want[i])
+		}
+	}
+}
+
+func TestGaugeSetAdd(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("pool.workers")
+	g.Set(8)
+	g.Add(-3)
+	if got := g.Load(); got != 5 {
+		t.Errorf("gauge = %d, want 5", got)
+	}
+}
+
+func TestEmptyHistogramSnapshotHasZeroMin(t *testing.T) {
+	r := NewRegistry()
+	r.Hist("never")
+	hs := r.Snapshot().Histograms[0]
+	if hs.Min != 0 || hs.Max != 0 || hs.Count != 0 || hs.Mean != 0 {
+		t.Errorf("empty histogram snapshot = %+v, want all zeros", hs)
+	}
+	if hs.Min == math.MaxUint64 {
+		t.Error("internal MaxUint64 sentinel leaked into the snapshot")
+	}
+}
+
+func TestCounterAddDoesNotAllocate(t *testing.T) {
+	c := NewRegistry().Counter("hot")
+	if allocs := testing.AllocsPerRun(1000, func() { c.Add(1) }); allocs != 0 {
+		t.Errorf("Counter.Add allocates %.1f objects per call, want 0", allocs)
+	}
+	h := NewRegistry().Hist("hot")
+	if allocs := testing.AllocsPerRun(1000, func() { h.Observe(7) }); allocs != 0 {
+		t.Errorf("Histogram.Observe allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+func TestSnapshotDeterministicOrdering(t *testing.T) {
+	r := NewRegistry()
+	// Register deliberately out of order.
+	r.Counter("zebra").Inc()
+	r.Counter("alpha").Inc()
+	r.Counter("mango").Inc()
+	r.Gauge("z").Set(1)
+	r.Gauge("a").Set(2)
+	r.Hist("w").Observe(1)
+	r.Hist("b").Observe(2)
+
+	snap := r.Snapshot()
+	wantC := []string{"alpha", "mango", "zebra"}
+	for i, c := range snap.Counters {
+		if c.Name != wantC[i] {
+			t.Errorf("counter %d = %q, want %q", i, c.Name, wantC[i])
+		}
+	}
+	if snap.Gauges[0].Name != "a" || snap.Histograms[0].Name != "b" {
+		t.Errorf("gauges/histograms not sorted: %+v / %+v", snap.Gauges, snap.Histograms)
+	}
+
+	// Two serializations of equivalent registries are byte-identical.
+	var b1, b2 bytes.Buffer
+	if err := snap.WriteJSON(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Snapshot().WriteJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Error("repeated snapshots of an idle registry differ")
+	}
+	var decoded Snap
+	if err := json.Unmarshal(b1.Bytes(), &decoded); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+}

@@ -1,0 +1,251 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is unusable;
+// obtain counters from a Registry (or the package-level Counter), which
+// hands every caller of a name the same handle.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n. It is one atomic add: safe from any
+// goroutine, allocation-free.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load reads the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is a settable signed metric (pool sizes, current parallelism).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by d (negative to decrease).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Load reads the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// numBuckets covers bits.Len64's full range: bucket i holds values v with
+// bits.Len64(v) == i, i.e. v in [2^(i-1), 2^i - 1] (bucket 0 holds only 0).
+const numBuckets = 65
+
+// Histogram is a log2-bucketed distribution of uint64 samples (durations
+// in nanoseconds, interval lengths, queue depths). Observe is a handful of
+// atomic operations — safe from any goroutine, allocation-free.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	min     atomic.Uint64 // initialized to MaxUint64 by the registry
+	max     atomic.Uint64
+	buckets [numBuckets]atomic.Uint64
+}
+
+func newHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxUint64)
+	return h
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bits.Len64(v)].Add(1)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Count reports the number of samples observed.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum reports the sum of all samples.
+func (h *Histogram) Sum() uint64 { return h.sum.Load() }
+
+// Registry is a named collection of metrics. Lookup takes the registry
+// lock; instrumented code is expected to look a handle up once and then
+// increment lock-free.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter finds or creates the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge finds or creates the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Hist finds or creates the named histogram.
+func (r *Registry) Hist(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = newHistogram()
+		r.hists[name] = h
+	}
+	return h
+}
+
+// CounterSnap is one counter in a snapshot.
+type CounterSnap struct {
+	Name  string `json:"name"`
+	Value uint64 `json:"value"`
+}
+
+// GaugeSnap is one gauge in a snapshot.
+type GaugeSnap struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// BucketSnap is one non-empty log2 bucket: Count samples were ≤ Le (and
+// greater than the previous bucket's Le).
+type BucketSnap struct {
+	Le    uint64 `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// HistSnap is one histogram in a snapshot.
+type HistSnap struct {
+	Name    string       `json:"name"`
+	Count   uint64       `json:"count"`
+	Sum     uint64       `json:"sum"`
+	Min     uint64       `json:"min"`
+	Max     uint64       `json:"max"`
+	Mean    float64      `json:"mean"`
+	Buckets []BucketSnap `json:"buckets,omitempty"`
+}
+
+// StageSnap is the aggregated timing of one span name.
+type StageSnap struct {
+	Name    string `json:"name"`
+	Count   uint64 `json:"count"`
+	TotalNS int64  `json:"total_ns"`
+	MinNS   int64  `json:"min_ns"`
+	MaxNS   int64  `json:"max_ns"`
+	AvgNS   int64  `json:"avg_ns"`
+}
+
+// Snap is a point-in-time capture of a registry (and, at the package
+// level, the tracer's stage aggregates). All slices are sorted by name so
+// the serialized form is deterministic.
+type Snap struct {
+	Counters   []CounterSnap `json:"counters"`
+	Gauges     []GaugeSnap   `json:"gauges"`
+	Histograms []HistSnap    `json:"histograms"`
+	Stages     []StageSnap   `json:"stages"`
+}
+
+// Snapshot captures every metric registered so far, sorted by name.
+// Values are read with atomic loads but not across one instant; a snapshot
+// taken while instrumented code runs is internally consistent per metric,
+// not across metrics.
+func (r *Registry) Snapshot() *Snap {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := &Snap{
+		Counters:   []CounterSnap{},
+		Gauges:     []GaugeSnap{},
+		Histograms: []HistSnap{},
+		Stages:     []StageSnap{},
+	}
+	for name, c := range r.counters {
+		s.Counters = append(s.Counters, CounterSnap{Name: name, Value: c.Load()})
+	}
+	for name, g := range r.gauges {
+		s.Gauges = append(s.Gauges, GaugeSnap{Name: name, Value: g.Load()})
+	}
+	for name, h := range r.hists {
+		hs := HistSnap{
+			Name:  name,
+			Count: h.count.Load(),
+			Sum:   h.sum.Load(),
+			Min:   h.min.Load(),
+			Max:   h.max.Load(),
+		}
+		if hs.Count == 0 {
+			hs.Min = 0
+		} else {
+			hs.Mean = float64(hs.Sum) / float64(hs.Count)
+		}
+		for i := range h.buckets {
+			n := h.buckets[i].Load()
+			if n == 0 {
+				continue
+			}
+			le := uint64(0)
+			if i > 0 {
+				le = 1<<uint(i) - 1
+			}
+			hs.Buckets = append(hs.Buckets, BucketSnap{Le: le, Count: n})
+		}
+		s.Histograms = append(s.Histograms, hs)
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s *Snap) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

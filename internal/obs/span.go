@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer aggregates stage spans. Spans with the same name pool into one
+// StageSnap (count / total / min / max duration); when capture is enabled
+// each completed span additionally becomes a Chrome trace_event, nested
+// under its parent span's lane.
+type Tracer struct {
+	lanes atomic.Int64
+
+	mu      sync.Mutex
+	epoch   time.Time
+	stages  map[string]*stageAgg
+	events  []traceEvent
+	capture bool
+
+	// now is the clock; tests substitute a deterministic one.
+	now func() time.Time
+}
+
+type stageAgg struct {
+	count    uint64
+	total    time.Duration
+	min, max time.Duration
+}
+
+// NewTracer builds an empty tracer with capture disabled.
+func NewTracer() *Tracer {
+	return &Tracer{
+		epoch:  time.Now(),
+		stages: map[string]*stageAgg{},
+		now:    time.Now,
+	}
+}
+
+// SetCapture enables or disables trace-event capture. Aggregation into
+// stage totals is unconditional.
+func (t *Tracer) SetCapture(on bool) {
+	t.mu.Lock()
+	t.capture = on
+	t.mu.Unlock()
+}
+
+// Span is one timed stage of the pipeline. End it exactly once. Spans are
+// not goroutine-safe; each belongs to the goroutine that started it, which
+// matches how the worker pool hands one artifact computation to one worker.
+type Span struct {
+	tr     *Tracer
+	name   string
+	arg    string
+	parent string // parent span's name, "" for roots
+	lane   int64  // trace-event tid: roots allocate, children inherit
+	start  time.Time
+	ended  bool
+}
+
+// Span starts a root span. name is the stage ("graph.build"), arg the unit
+// of work (the workload name); arg may be empty.
+func (t *Tracer) Span(name, arg string) *Span {
+	return &Span{
+		tr:    t,
+		name:  name,
+		arg:   arg,
+		lane:  t.lanes.Add(1),
+		start: t.now(),
+	}
+}
+
+// Child starts a sub-span of s: it records s's name as its parent stage
+// and shares s's trace lane, so the Chrome trace renders it nested.
+func (s *Span) Child(name, arg string) *Span {
+	return &Span{
+		tr:     s.tr,
+		name:   name,
+		arg:    arg,
+		parent: s.name,
+		lane:   s.lane,
+		start:  s.tr.now(),
+	}
+}
+
+// Name reports the span's stage name.
+func (s *Span) Name() string { return s.name }
+
+// Parent reports the parent stage name ("" for a root span).
+func (s *Span) Parent() string { return s.parent }
+
+// End stops the span, folds its duration into the stage aggregate, and
+// (with capture on) records a trace event. It returns the duration.
+// A second End is a no-op.
+func (s *Span) End() time.Duration {
+	if s.ended {
+		return 0
+	}
+	s.ended = true
+	end := s.tr.now()
+	d := end.Sub(s.start)
+
+	t := s.tr
+	t.mu.Lock()
+	agg := t.stages[s.name]
+	if agg == nil {
+		agg = &stageAgg{min: d, max: d}
+		t.stages[s.name] = agg
+	}
+	agg.count++
+	agg.total += d
+	if d < agg.min {
+		agg.min = d
+	}
+	if d > agg.max {
+		agg.max = d
+	}
+	if t.capture {
+		ev := traceEvent{
+			Name: s.name,
+			Cat:  "stage",
+			Ph:   "X",
+			TS:   s.start.Sub(t.epoch).Microseconds(),
+			Dur:  d.Microseconds(),
+			PID:  1,
+			TID:  s.lane,
+		}
+		if s.arg != "" || s.parent != "" {
+			ev.Args = map[string]string{}
+			if s.arg != "" {
+				ev.Args["arg"] = s.arg
+			}
+			if s.parent != "" {
+				ev.Args["parent"] = s.parent
+			}
+		}
+		t.events = append(t.events, ev)
+	}
+	t.mu.Unlock()
+	return d
+}
+
+// Stages snapshots the aggregated span timings, sorted by name.
+func (t *Tracer) Stages() []StageSnap {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]StageSnap, 0, len(t.stages))
+	for name, a := range t.stages {
+		out = append(out, StageSnap{
+			Name:    name,
+			Count:   a.count,
+			TotalNS: a.total.Nanoseconds(),
+			MinNS:   a.min.Nanoseconds(),
+			MaxNS:   a.max.Nanoseconds(),
+			AvgNS:   a.total.Nanoseconds() / int64(a.count),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// traceEvent is one entry of the Chrome trace_event "complete event"
+// format (ph "X"): timestamps and durations in microseconds.
+type traceEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	TS   int64             `json:"ts"`
+	Dur  int64             `json:"dur"`
+	PID  int               `json:"pid"`
+	TID  int64             `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level object chrome://tracing and Perfetto load.
+type chromeTrace struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace writes every captured event as Chrome trace_event JSON.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	t.mu.Lock()
+	events := make([]traceEvent, len(t.events))
+	copy(events, t.events)
+	t.mu.Unlock()
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+}

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock advances a tracer's clock by a fixed step on every reading, so
+// span timings are deterministic.
+func fakeClock(t *Tracer, step time.Duration) {
+	var mu sync.Mutex
+	now := t.epoch
+	t.now = func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		cur := now
+		now = now.Add(step)
+		return cur
+	}
+}
+
+func TestSpanNestingAndAggregation(t *testing.T) {
+	tr := NewTracer()
+	fakeClock(tr, time.Millisecond)
+
+	root := tr.Span("figure.7", "")
+	child := root.Child("graph.build", "gzip")
+	grand := child.Child("select.pass1", "")
+	if grand.Parent() != "graph.build" || child.Parent() != "figure.7" || root.Parent() != "" {
+		t.Errorf("parent chain wrong: %q <- %q <- %q",
+			root.Parent(), child.Parent(), grand.Parent())
+	}
+	if child.lane != root.lane || grand.lane != root.lane {
+		t.Error("children must inherit the root span's lane")
+	}
+	// Clock readings: root@0, child@1, grand@2, then the Ends below.
+	if d := grand.End(); d != time.Millisecond {
+		t.Errorf("grand duration = %v, want 1ms", d)
+	}
+	if d := child.End(); d != 3*time.Millisecond {
+		t.Errorf("child duration = %v, want 3ms", d)
+	}
+	if d := root.End(); d != 5*time.Millisecond {
+		t.Errorf("root duration = %v, want 5ms", d)
+	}
+	if d := root.End(); d != 0 {
+		t.Errorf("second End = %v, want 0 (no-op)", d)
+	}
+
+	// A second root span with a repeated name pools into the same stage.
+	again := tr.Span("graph.build", "gcc")
+	if again.lane == root.lane {
+		t.Error("a new root span must get a fresh lane")
+	}
+	again.End()
+
+	stages := tr.Stages()
+	if len(stages) != 3 {
+		t.Fatalf("got %d stages, want 3: %+v", len(stages), stages)
+	}
+	// Sorted by name: figure.7, graph.build, select.pass1.
+	if stages[0].Name != "figure.7" || stages[1].Name != "graph.build" || stages[2].Name != "select.pass1" {
+		t.Fatalf("stage order wrong: %+v", stages)
+	}
+	gb := stages[1]
+	if gb.Count != 2 {
+		t.Errorf("graph.build count = %d, want 2", gb.Count)
+	}
+	if gb.MinNS != int64(time.Millisecond) || gb.MaxNS != int64(3*time.Millisecond) {
+		t.Errorf("graph.build min/max = %d/%d, want 1ms/3ms", gb.MinNS, gb.MaxNS)
+	}
+	if gb.TotalNS != int64(4*time.Millisecond) || gb.AvgNS != int64(2*time.Millisecond) {
+		t.Errorf("graph.build total/avg = %d/%d, want 4ms/2ms", gb.TotalNS, gb.AvgNS)
+	}
+}
+
+func TestSpanConcurrentEndsAreRaceFree(t *testing.T) {
+	tr := NewTracer()
+	tr.SetCapture(true)
+	var wg sync.WaitGroup
+	for range 16 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				sp := tr.Span("stage", "w")
+				sp.Child("inner", "").End()
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	stages := tr.Stages()
+	if len(stages) != 2 || stages[0].Count != 16*200 || stages[1].Count != 16*200 {
+		t.Errorf("stage aggregation lost spans: %+v", stages)
+	}
+}
+
+// TestChromeTraceGolden pins the exact trace_event serialization: ph "X"
+// complete events with microsecond ts/dur, children on the parent's lane,
+// parent stage and workload arg in args.
+func TestChromeTraceGolden(t *testing.T) {
+	tr := NewTracer()
+	tr.SetCapture(true)
+	fakeClock(tr, time.Millisecond)
+
+	root := tr.Span("figure.7", "")
+	child := root.Child("graph.build", "gzip")
+	child.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := strings.TrimSpace(buf.String())
+	want := `{"traceEvents":[` +
+		`{"name":"graph.build","cat":"stage","ph":"X","ts":1000,"dur":1000,"pid":1,"tid":1,"args":{"arg":"gzip","parent":"figure.7"}},` +
+		`{"name":"figure.7","cat":"stage","ph":"X","ts":0,"dur":3000,"pid":1,"tid":1}` +
+		`],"displayTimeUnit":"ms"}`
+	if got != want {
+		t.Errorf("chrome trace mismatch:\n got: %s\nwant: %s", got, want)
+	}
+}
+
+func TestCaptureOffRecordsNoEvents(t *testing.T) {
+	tr := NewTracer()
+	tr.Span("s", "").End()
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"traceEvents":[]`) {
+		t.Errorf("expected empty traceEvents, got %s", buf.String())
+	}
+	if st := tr.Stages(); len(st) != 1 || st[0].Count != 1 {
+		t.Errorf("aggregation must stay on with capture off: %+v", st)
+	}
+}
+
+func TestSummaryRendersAllSections(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("cell.hit").Add(3)
+	r.Gauge("pool.workers").Set(8)
+	r.Hist("pool.queue_wait_ns").Observe(1500)
+	tr := NewTracer()
+	tr.Span("graph.build", "gzip").End()
+
+	snap := r.Snapshot()
+	snap.Stages = tr.Stages()
+	var buf bytes.Buffer
+	snap.WriteSummary(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"observability summary", "graph.build", "cell.hit",
+		"pool.workers", "pool.queue_wait_ns",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// WriteSummary renders the snapshot as an aligned, human-readable report.
+// It is meant for stderr after a run; stdout belongs to the figure tables.
+func (s *Snap) WriteSummary(w io.Writer) {
+	fmt.Fprintln(w, "== observability summary ==")
+	if len(s.Stages) > 0 {
+		fmt.Fprintln(w, "stages (aggregated span durations):")
+		tw := newAligner(w)
+		tw.row("  stage", "count", "total", "avg", "min", "max")
+		for _, st := range s.Stages {
+			tw.row("  "+st.Name, u(st.Count),
+				dur(st.TotalNS), dur(st.AvgNS), dur(st.MinNS), dur(st.MaxNS))
+		}
+		tw.flush()
+	}
+	if len(s.Histograms) > 0 {
+		fmt.Fprintln(w, "histograms:")
+		tw := newAligner(w)
+		tw.row("  histogram", "count", "mean", "min", "max")
+		for _, h := range s.Histograms {
+			if strings.HasSuffix(h.Name, "_ns") {
+				tw.row("  "+h.Name, u(h.Count),
+					dur(int64(h.Mean)), dur(int64(h.Min)), dur(int64(h.Max)))
+			} else {
+				tw.row("  "+h.Name, u(h.Count),
+					fmt.Sprintf("%.1f", h.Mean), u(h.Min), u(h.Max))
+			}
+		}
+		tw.flush()
+	}
+	if len(s.Counters) > 0 {
+		fmt.Fprintln(w, "counters:")
+		tw := newAligner(w)
+		for _, c := range s.Counters {
+			tw.row("  "+c.Name, u(c.Value))
+		}
+		tw.flush()
+	}
+	if len(s.Gauges) > 0 {
+		fmt.Fprintln(w, "gauges:")
+		tw := newAligner(w)
+		for _, g := range s.Gauges {
+			tw.row("  "+g.Name, fmt.Sprintf("%d", g.Value))
+		}
+		tw.flush()
+	}
+}
+
+func u(v uint64) string { return fmt.Sprintf("%d", v) }
+
+func dur(ns int64) string {
+	return time.Duration(ns).Round(time.Microsecond).String()
+}
+
+// aligner buffers rows and pads columns: first column left-aligned, the
+// rest right-aligned (the same convention as the experiment tables).
+type aligner struct {
+	w    io.Writer
+	rows [][]string
+}
+
+func newAligner(w io.Writer) *aligner { return &aligner{w: w} }
+
+func (a *aligner) row(cells ...string) { a.rows = append(a.rows, cells) }
+
+func (a *aligner) flush() {
+	var widths []int
+	for _, r := range a.rows {
+		for i, c := range r {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	for _, r := range a.rows {
+		var sb strings.Builder
+		for i, c := range r {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			pad := widths[i] - len(c)
+			if i == 0 {
+				sb.WriteString(c + strings.Repeat(" ", pad))
+			} else {
+				sb.WriteString(strings.Repeat(" ", pad) + c)
+			}
+		}
+		fmt.Fprintln(a.w, strings.TrimRight(sb.String(), " "))
+	}
+}

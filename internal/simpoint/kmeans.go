@@ -14,7 +14,17 @@ package simpoint
 import (
 	"math"
 
+	"phasemark/internal/obs"
 	"phasemark/internal/stats"
+)
+
+// Clustering metrics: total k-means work done by SimPoint classification
+// and the iteration count it took each run to converge.
+var (
+	obsClusterings = obs.NewCounter("simpoint.clusterings")
+	obsKMeansRuns  = obs.NewCounter("simpoint.kmeans_runs")
+	obsKMeansIters = obs.NewCounter("simpoint.kmeans_iters")
+	obsItersPerRun = obs.NewHist("simpoint.kmeans_iters_per_run")
 )
 
 // Options configures clustering.
@@ -69,8 +79,9 @@ func sqDist(a, b []float64) float64 {
 	return s
 }
 
-// kmeansOnce runs weighted k-means from a k-means++ seeding.
-func kmeansOnce(points [][]float64, weights []float64, k int, rng *stats.RNG, maxIters int) ([]int, [][]float64, float64) {
+// kmeansOnce runs weighted k-means from a k-means++ seeding. It also
+// reports how many assignment iterations it performed (for metrics).
+func kmeansOnce(points [][]float64, weights []float64, k int, rng *stats.RNG, maxIters int) ([]int, [][]float64, float64, int) {
 	n := len(points)
 	d := len(points[0])
 	centers := make([][]float64, 0, k)
@@ -109,7 +120,9 @@ func kmeansOnce(points [][]float64, weights []float64, k int, rng *stats.RNG, ma
 	}
 
 	assign := make([]int, n)
+	iters := 0
 	for iter := 0; iter < maxIters; iter++ {
+		iters++
 		changed := false
 		for i, p := range points {
 			best, bestD := 0, math.Inf(1)
@@ -160,7 +173,7 @@ func kmeansOnce(points [][]float64, weights []float64, k int, rng *stats.RNG, ma
 	for i, p := range points {
 		sse += weights[i] * sqDist(p, centers[assign[i]])
 	}
-	return assign, centers, sse
+	return assign, centers, sse, iters
 }
 
 // bicScore computes the Pelleg–Moore (X-means) BIC for a clustering, with
@@ -226,6 +239,9 @@ func Cluster(points [][]float64, weights []float64, opts Options) *Clustering {
 			kmin, kmax = n, n
 		}
 	}
+	sp := obs.StartSpan("simpoint.cluster", "")
+	defer sp.End()
+	obsClusterings.Inc()
 	rng := stats.NewRNG(opts.Seed ^ 0x51e0b6c4d5a3f7e9)
 
 	type result struct {
@@ -237,7 +253,10 @@ func Cluster(points [][]float64, weights []float64, opts Options) *Clustering {
 		bestSSE := math.Inf(1)
 		var best Clustering
 		for rs := 0; rs < opts.restarts(); rs++ {
-			assign, centers, sse := kmeansOnce(points, weights, k, rng, opts.maxIters())
+			assign, centers, sse, iters := kmeansOnce(points, weights, k, rng, opts.maxIters())
+			obsKMeansRuns.Inc()
+			obsKMeansIters.Add(uint64(iters))
+			obsItersPerRun.Observe(uint64(iters))
 			if sse < bestSSE {
 				bestSSE = sse
 				best = Clustering{K: k, Assign: assign, Centers: centers}

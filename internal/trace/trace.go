@@ -11,7 +11,17 @@ import (
 	"phasemark/internal/bbv"
 	"phasemark/internal/core"
 	"phasemark/internal/minivm"
+	"phasemark/internal/obs"
 	"phasemark/internal/uarch"
+)
+
+// Segmentation metrics: how many measured runs happened, how finely they
+// were cut, and the interval-length distribution across all of them.
+var (
+	obsTraceRuns    = obs.NewCounter("trace.runs")
+	obsIntervals    = obs.NewCounter("trace.intervals")
+	obsMarkerFires  = obs.NewCounter("trace.marker_fires")
+	obsIntervalLens = obs.NewHist("trace.interval_instructions")
 )
 
 // ProloguePhase is the phase ID of execution before the first marker
@@ -127,6 +137,8 @@ func (f *fixedCutter) OnBlock(b *minivm.Block) {
 // Run executes the program under the timing model, cutting intervals per
 // cfg, and returns the segmented result.
 func Run(cfg Config) (*Result, error) {
+	sp := obs.StartSpan("trace.exec", "")
+	defer sp.End()
 	if cfg.Prog == nil {
 		return nil, fmt.Errorf("trace: nil program")
 	}
@@ -175,6 +187,12 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if det != nil {
 		res.MarkerFires = det.TotalFired()
+	}
+	obsTraceRuns.Inc()
+	obsIntervals.Add(uint64(len(res.Intervals)))
+	obsMarkerFires.Add(res.MarkerFires)
+	for _, iv := range res.Intervals {
+		obsIntervalLens.Observe(iv.Len())
 	}
 	return res, nil
 }
