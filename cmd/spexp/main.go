@@ -9,9 +9,19 @@
 //	spexp -fig speed        # the §5.1 selection-cost table
 //	spexp -fig all -j 8     # profile workloads on 8 workers
 //
+//	spexp -check            # correctness harness: invariant suite over all workloads
+//	spexp -check -j 8       # same, on 8 workers
+//
 //	spexp -fig all -metrics out.json        # + metrics snapshot & BENCH_obs.json
 //	spexp -fig 7 -trace-out trace.json      # + Chrome trace (chrome://tracing)
 //	spexp -fig all -pprof localhost:6060    # + live net/http/pprof server
+//
+// -check replaces figure generation with the invariant suite (see
+// internal/check): differential backend oracle (-O0 / optimized / stack
+// outputs and mapped marker traces must agree), segmentation tiling,
+// clustering sanity, and detector/instrumentation equivalence, evaluated
+// for every workload on the same artifact cache and worker pool the
+// figures use. Any violation exits 1.
 //
 // Figure 5 covers the paper's Figures 5 and 6 (one comparison), and
 // Figures 7/8/9 share their underlying runs, as do 11/12.
@@ -44,6 +54,7 @@ import (
 
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 3,4,5,7,8,9,10,11,12,crossbinary,speed,scales,all")
+	checkRun := flag.Bool("check", false, "run the correctness harness instead of figures: differential backend oracle, segmentation/clustering invariants, detector/instrumentation equivalence over every workload (exit 1 on any violation)")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "workloads to evaluate in parallel")
 	metricsOut := flag.String("metrics", "", "write a metrics snapshot (counters, histograms, per-stage durations) to this JSON file, plus BENCH_obs.json with per-stage totals")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON file of every pipeline stage span")
@@ -60,6 +71,25 @@ func main() {
 	}
 	if *traceOut != "" {
 		obs.SetTraceCapture(true)
+	}
+
+	if *checkRun {
+		s := experiments.NewSuite()
+		s.SetParallelism(*jobs)
+		start := time.Now()
+		sp := obs.StartSpan("check.suite", "")
+		err := s.RunChecks(os.Stdout)
+		sp.End()
+		fmt.Fprintf(os.Stderr, "(invariant suite ran in %v)\n", time.Since(start).Round(time.Millisecond))
+		if werr := writeObservability(*metricsOut, *traceOut); werr != nil {
+			fmt.Fprintf(os.Stderr, "spexp: %v\n", werr)
+			os.Exit(1)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spexp: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	want, err := parseFigs(*fig)

@@ -18,6 +18,7 @@ import (
 	"phasemark/internal/core"
 	"phasemark/internal/minivm"
 	"phasemark/internal/reuse"
+	"phasemark/internal/trace"
 	"phasemark/internal/uarch"
 )
 
@@ -116,29 +117,6 @@ func (s *segmenter) cut(phase int, at uint64) {
 	s.phase = phase
 }
 
-type fixedCutter struct {
-	minivm.NopObserver
-	s      *segmenter
-	instrs uint64
-	next   uint64
-	step   uint64
-}
-
-func (f *fixedCutter) OnBlock(b *minivm.Block) {
-	if f.instrs >= f.next {
-		f.s.cut(-1, f.instrs)
-		f.next += f.step
-	}
-	f.instrs += uint64(b.Weight())
-}
-
-type bbvObs struct {
-	minivm.NopObserver
-	acc *bbv.Accumulator
-}
-
-func (o bbvObs) OnBlock(b *minivm.Block) { o.acc.Touch(b.ID, b.Weight()) }
-
 // Run executes prog under the multi-configuration cache simulation,
 // cutting intervals per src.
 func Run(prog *minivm.Program, args []int64, src Source) (*RunResult, error) {
@@ -150,8 +128,10 @@ func Run(prog *minivm.Program, args []int64, src Source) (*RunResult, error) {
 	case src.FixedLen > 0:
 		seg.collect = true
 		seg.bbvAcc = bbv.NewAccumulator(prog.NumBlocks)
-		obs = append(obs, &fixedCutter{s: seg, next: src.FixedLen, step: src.FixedLen})
-		obs = append(obs, bbvObs{acc: seg.bbvAcc})
+		obs = append(obs, trace.NewFixedCutter(src.FixedLen, func(at uint64) {
+			seg.cut(-1, at)
+		}))
+		obs = append(obs, trace.BBVObserver{Acc: seg.bbvAcc})
 	case src.SPM != nil:
 		det := core.NewDetector(prog, src.Loops, src.SPM, func(marker int, at uint64) {
 			seg.cut(marker, at)

@@ -1,0 +1,287 @@
+// Package check is the correctness harness: a differential backend
+// oracle plus invariant checks over every stage of the phase-marker
+// pipeline. The paper's headline claims are correctness claims — marker
+// firings are identical across compilations of one source (§6.2.1),
+// variable-length intervals tile execution exactly, and the physically
+// instrumented binary reproduces the analysis-side detector — and this
+// package turns each claim into a checkable property.
+//
+// The checks are pure functions from pipeline artifacts to an error
+// (nil = invariant holds), so they run equally from unit tests, from
+// fuzz targets, and from `spexp -check`, which sweeps them over every
+// workload (see internal/experiments.RunChecks).
+package check
+
+import (
+	"fmt"
+	"math"
+
+	"phasemark/internal/compile"
+	"phasemark/internal/core"
+	"phasemark/internal/crossbin"
+	"phasemark/internal/minivm"
+	"phasemark/internal/simpoint"
+	"phasemark/internal/trace"
+)
+
+// Segmentation verifies that a traced execution's intervals exactly tile
+// [0, Instructions): they start at zero, abut with no gaps or overlaps,
+// end at the total instruction count, and none is empty. When basic block
+// vectors were collected, each interval's BBV mass must equal its
+// instruction count (block weights are integers, so the sums are exact in
+// float64). numMarkers is the size of the cutting marker set, or -1 for
+// fixed-length segmentation; for marker-cut runs the interval count and
+// phase IDs must be consistent with MarkerFires.
+func Segmentation(res *trace.Result, numMarkers int) error {
+	if res == nil {
+		return fmt.Errorf("segmentation: nil result")
+	}
+	ivs := res.Intervals
+	if res.Instructions == 0 {
+		return fmt.Errorf("segmentation: zero-instruction execution")
+	}
+	if len(ivs) == 0 {
+		return fmt.Errorf("segmentation: no intervals for %d instructions", res.Instructions)
+	}
+	bbvPresent := false
+	for _, iv := range ivs {
+		if len(iv.BBV.Idx) > 0 {
+			bbvPresent = true
+			break
+		}
+	}
+	var cursor uint64
+	for i, iv := range ivs {
+		if iv.Index != i {
+			return fmt.Errorf("segmentation: interval %d carries index %d", i, iv.Index)
+		}
+		if iv.Start != cursor {
+			return fmt.Errorf("segmentation: interval %d starts at %d, previous ended at %d (gap or overlap)",
+				i, iv.Start, cursor)
+		}
+		if iv.End <= iv.Start {
+			return fmt.Errorf("segmentation: interval %d is empty or inverted: [%d, %d)", i, iv.Start, iv.End)
+		}
+		cursor = iv.End
+		if bbvPresent {
+			if mass := iv.BBV.L1(); mass != float64(iv.Len()) {
+				return fmt.Errorf("segmentation: interval %d BBV mass %.1f != length %d",
+					i, mass, iv.Len())
+			}
+		}
+		switch {
+		case numMarkers < 0:
+			if iv.PhaseID != trace.ProloguePhase {
+				return fmt.Errorf("segmentation: fixed-length interval %d carries phase %d", i, iv.PhaseID)
+			}
+		default:
+			if iv.PhaseID != trace.ProloguePhase && (iv.PhaseID < 0 || iv.PhaseID >= numMarkers) {
+				return fmt.Errorf("segmentation: interval %d phase %d out of range [0,%d)", i, iv.PhaseID, numMarkers)
+			}
+		}
+	}
+	if cursor != res.Instructions {
+		return fmt.Errorf("segmentation: intervals end at %d, execution ran %d instructions",
+			cursor, res.Instructions)
+	}
+	if numMarkers >= 0 {
+		// Every interval after the prologue was opened by a firing; firings
+		// at an instant already cut (or at the very end) open no interval —
+		// so the interval count is bounded by the firing count plus the
+		// final prologue-closed interval.
+		if uint64(len(ivs)) > res.MarkerFires+1 {
+			return fmt.Errorf("segmentation: %d intervals from only %d marker fires",
+				len(ivs), res.MarkerFires)
+		}
+	} else if res.MarkerFires != 0 {
+		return fmt.Errorf("segmentation: fixed-length run reports %d marker fires", res.MarkerFires)
+	}
+	return nil
+}
+
+// Clustering verifies a SimPoint classification over numPoints intervals:
+// assignments in range [0, K), at least one point per cluster (no empty
+// clusters may survive in a chosen result), weights of the right arity
+// that are non-negative and sum to 1.
+func Clustering(c *simpoint.Clustering, numPoints int) error {
+	if c == nil {
+		return fmt.Errorf("clustering: nil clustering")
+	}
+	if numPoints == 0 {
+		return nil // degenerate: nothing was clustered
+	}
+	if c.K < 1 {
+		return fmt.Errorf("clustering: K=%d for %d points", c.K, numPoints)
+	}
+	if len(c.Assign) != numPoints {
+		return fmt.Errorf("clustering: %d assignments for %d points", len(c.Assign), numPoints)
+	}
+	counts := make([]int, c.K)
+	for i, a := range c.Assign {
+		if a < 0 || a >= c.K {
+			return fmt.Errorf("clustering: point %d assigned to cluster %d, K=%d", i, a, c.K)
+		}
+		counts[a]++
+	}
+	if numPoints >= c.K {
+		for cl, n := range counts {
+			if n == 0 {
+				return fmt.Errorf("clustering: cluster %d of %d is empty", cl, c.K)
+			}
+		}
+	}
+	if len(c.Weights) != c.K {
+		return fmt.Errorf("clustering: %d weights for K=%d", len(c.Weights), c.K)
+	}
+	var sum float64
+	for cl, w := range c.Weights {
+		if w < 0 || math.IsNaN(w) {
+			return fmt.Errorf("clustering: cluster %d weight %v", cl, w)
+		}
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return fmt.Errorf("clustering: weights sum to %.12f, want 1", sum)
+	}
+	return nil
+}
+
+// DetectorInstrument verifies the detector/instrumentation equivalence
+// claim: running the physically rewritten binary (core.Instrument) must
+// reproduce the analysis-side detector's firing sequence marker-for-
+// marker, and the inserted marks must not change the program's observable
+// behavior (out() stream and return value).
+func DetectorInstrument(prog *minivm.Program, set *core.MarkerSet, args ...int64) error {
+	det, md, err := core.DetectFirings(prog, set, args...)
+	if err != nil {
+		return fmt.Errorf("detector/instrument: %w", err)
+	}
+	inst, mi, err := core.InstrumentedFirings(prog, set, args...)
+	if err != nil {
+		return fmt.Errorf("detector/instrument: %w", err)
+	}
+	if err := equalOutputs(md.Output(), mi.Output()); err != nil {
+		return fmt.Errorf("detector/instrument: instrumentation changed behavior: %w", err)
+	}
+	if len(det) != len(inst) {
+		return fmt.Errorf("detector/instrument: %d detector fires vs %d instrumented fires",
+			len(det), len(inst))
+	}
+	for i := range det {
+		if det[i].Marker != inst[i].Marker {
+			return fmt.Errorf("detector/instrument: firing %d is marker %d in the detector, %d in the binary",
+				i, det[i].Marker, inst[i].Marker)
+		}
+	}
+	return nil
+}
+
+// Backends compiles src with each differential-oracle backend: the -O0
+// register binary (the analysis reference), the optimizing register
+// build, and the stack-machine ISA.
+func Backends(src string) (o0, opt, stack *minivm.Program, err error) {
+	if o0, err = compile.CompileSource(src, compile.Options{}); err != nil {
+		return nil, nil, nil, fmt.Errorf("backends: -O0: %w", err)
+	}
+	if opt, err = compile.CompileSource(src, compile.Options{Optimize: true}); err != nil {
+		return nil, nil, nil, fmt.Errorf("backends: optimized: %w", err)
+	}
+	if stack, err = compile.CompileSource(src, compile.Options{Stack: true}); err != nil {
+		return nil, nil, nil, fmt.Errorf("backends: stack: %w", err)
+	}
+	return o0, opt, stack, nil
+}
+
+// CrossBinary is the differential backend oracle for one source program:
+// all three backends must produce identical observable output on args,
+// and markers selected on the -O0 binary, mapped through source debug
+// info (internal/crossbin), must fire identically on every binary. When a
+// backend compiles some markers away, the surviving subset must still
+// fire identically (crossbin.Restrict), matching the §6.2.1 protocol.
+// prog must be the -O0 compilation of src that set was selected on.
+func CrossBinary(src string, prog *minivm.Program, set *core.MarkerSet, args ...int64) error {
+	_, opt, stack, err := Backends(src)
+	if err != nil {
+		return fmt.Errorf("cross-binary: %w", err)
+	}
+	seq0, out0, rv0, err := crossbin.TraceOutput(prog, set, args...)
+	if err != nil {
+		return fmt.Errorf("cross-binary: -O0: %w", err)
+	}
+	for _, tgt := range []struct {
+		name string
+		prog *minivm.Program
+	}{{"optimized", opt}, {"stack", stack}} {
+		mapped, rep, err := crossbin.MapMarkers(set, prog, tgt.prog)
+		if err != nil {
+			return fmt.Errorf("cross-binary: map to %s: %w", tgt.name, err)
+		}
+		ref := seq0
+		if len(rep.Unmapped) > 0 {
+			// Markers compiled away: the surviving subset must still agree.
+			restricted := crossbin.Restrict(set, rep.Unmapped)
+			if len(restricted.Markers) != rep.Mapped {
+				return fmt.Errorf("cross-binary: %s: restrict kept %d markers, mapping kept %d",
+					tgt.name, len(restricted.Markers), rep.Mapped)
+			}
+			if ref, _, _, err = crossbin.TraceOutput(prog, restricted, args...); err != nil {
+				return fmt.Errorf("cross-binary: -O0 restricted: %w", err)
+			}
+		}
+		seq, out, rv, err := crossbin.TraceOutput(tgt.prog, mapped, args...)
+		if err != nil {
+			return fmt.Errorf("cross-binary: %s: %w", tgt.name, err)
+		}
+		if rv != rv0 {
+			return fmt.Errorf("cross-binary: %s returned %d, -O0 returned %d", tgt.name, rv, rv0)
+		}
+		if err := equalOutputs(out0, out); err != nil {
+			return fmt.Errorf("cross-binary: %s output differs from -O0: %w", tgt.name, err)
+		}
+		if i := firstDiff(ref, seq); i >= 0 {
+			return fmt.Errorf("cross-binary: %s marker trace diverges from -O0 at firing %d (of %d vs %d): %s",
+				tgt.name, i, len(ref), len(seq), diffAt(ref, seq, i))
+		}
+	}
+	return nil
+}
+
+// firstDiff returns the first index where two firing sequences differ
+// (length counts), or -1 when identical.
+func firstDiff(a, b []int) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	if len(a) != len(b) {
+		return n
+	}
+	return -1
+}
+
+func diffAt(a, b []int, i int) string {
+	get := func(s []int) string {
+		if i < len(s) {
+			return fmt.Sprintf("marker %d", s[i])
+		}
+		return "end of trace"
+	}
+	return fmt.Sprintf("%s vs %s", get(a), get(b))
+}
+
+func equalOutputs(a, b []int64) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("out() stream lengths %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return fmt.Errorf("out()[%d] = %d vs %d", i, a[i], b[i])
+		}
+	}
+	return nil
+}

@@ -1,6 +1,10 @@
 package core
 
-import "phasemark/internal/minivm"
+import (
+	"fmt"
+
+	"phasemark/internal/minivm"
+)
 
 // BoundaryFunc is called when a phase marker fires: marker is the index in
 // the MarkerSet, at is the dynamic instruction count at the firing point
@@ -59,6 +63,53 @@ func NewDetector(prog *minivm.Program, loops *minivm.Loops, set *MarkerSet, onFi
 
 // Fired reports how many times marker i fired.
 func (d *Detector) Fired(i int) uint64 { return d.fired[i] }
+
+// Firing is one recorded marker firing: the marker's index in its set and
+// the dynamic instruction count at the firing point.
+type Firing struct {
+	Marker int
+	At     uint64
+}
+
+// DetectFirings runs prog under a walker-based detector for set and
+// returns every firing in execution order plus the finished machine (for
+// output and instruction-count inspection). It is the analysis-side
+// reference the correctness harness compares instrumented binaries
+// against.
+func DetectFirings(prog *minivm.Program, set *MarkerSet, args ...int64) ([]Firing, *minivm.Machine, error) {
+	var seq []Firing
+	det := NewDetector(prog, nil, set, func(marker int, at uint64) {
+		seq = append(seq, Firing{Marker: marker, At: at})
+	})
+	m := minivm.NewMachine(prog, det)
+	if _, err := m.Run(args...); err != nil {
+		return nil, nil, fmt.Errorf("core: detect firings: %w", err)
+	}
+	return seq, m, nil
+}
+
+// InstrumentedFirings physically instruments prog with set (Instrument),
+// runs the rewritten binary, and returns the mark-stream firings with
+// GroupN applied, plus the finished machine. Firing.At counts the
+// instrumented binary's instructions, which include the inserted marks
+// and trampolines — compare marker sequences across binaries, not
+// positions.
+func InstrumentedFirings(prog *minivm.Program, set *MarkerSet, args ...int64) ([]Firing, *minivm.Machine, error) {
+	inst, err := Instrument(prog, set)
+	if err != nil {
+		return nil, nil, err
+	}
+	var seq []Firing
+	m := minivm.NewMachine(inst, nil)
+	h := NewMarkHandler(set, func(marker int) {
+		seq = append(seq, Firing{Marker: marker, At: m.Instructions()})
+	})
+	m.MarkFunc = h.Fn
+	if _, err := m.Run(args...); err != nil {
+		return nil, nil, fmt.Errorf("core: instrumented firings: %w", err)
+	}
+	return seq, m, nil
+}
 
 // TotalFired reports the total number of marker firings (phase-change
 // signals) observed.

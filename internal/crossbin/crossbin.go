@@ -157,15 +157,24 @@ func mapKey(k core.EdgeKey, fi, ti *binIndex) (core.EdgeKey, bool) {
 // input and equivalent marker sets must produce identical traces — the
 // §6.2.1 validation.
 func Trace(prog *minivm.Program, set *core.MarkerSet, args ...int64) ([]int, error) {
-	var seq []int
+	seq, _, _, err := TraceOutput(prog, set, args...)
+	return seq, err
+}
+
+// TraceOutput is Trace plus the program's observable behavior: the out()
+// stream and the entry procedure's return value. The differential backend
+// oracle needs both halves — compilations must agree on what the program
+// computes and on when its markers fire.
+func TraceOutput(prog *minivm.Program, set *core.MarkerSet, args ...int64) (seq []int, out []int64, rv int64, err error) {
 	det := core.NewDetector(prog, nil, set, func(marker int, at uint64) {
 		seq = append(seq, marker)
 	})
 	m := minivm.NewMachine(prog, det)
-	if _, err := m.Run(args...); err != nil {
-		return nil, fmt.Errorf("crossbin: trace run: %w", err)
+	rv, err = m.Run(args...)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("crossbin: trace run: %w", err)
 	}
-	return seq, nil
+	return seq, m.Output(), rv, nil
 }
 
 // Restrict returns a copy of set without the markers named in drop —

@@ -1,0 +1,106 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+// walkPos visits every position the parser attached to an accepted file.
+func walkPos(f *File, visit func(Pos)) {
+	var stmt func(Stmt)
+	var expr func(Expr)
+	expr = func(e Expr) {
+		if e == nil {
+			return
+		}
+		visit(e.ExprPos())
+		switch e := e.(type) {
+		case *IndexExpr:
+			expr(e.Index)
+		case *CallExpr:
+			for _, a := range e.Args {
+				expr(a)
+			}
+		case *UnaryExpr:
+			expr(e.X)
+		case *BinaryExpr:
+			expr(e.L)
+			expr(e.R)
+		}
+	}
+	stmt = func(s Stmt) {
+		if s == nil {
+			return
+		}
+		visit(s.StmtPos())
+		switch s := s.(type) {
+		case *BlockStmt:
+			for _, c := range s.Stmts {
+				stmt(c)
+			}
+		case *VarStmt:
+			expr(s.Init)
+		case *AssignStmt:
+			expr(s.Index)
+			expr(s.Value)
+		case *IfStmt:
+			expr(s.Cond)
+			stmt(s.Then)
+			stmt(s.Else)
+		case *WhileStmt:
+			expr(s.Cond)
+			stmt(s.Body)
+		case *ForStmt:
+			stmt(s.Init)
+			expr(s.Cond)
+			stmt(s.Post)
+			stmt(s.Body)
+		case *ReturnStmt:
+			expr(s.Value)
+		case *ExprStmt:
+			expr(s.X)
+		case *OutStmt:
+			expr(s.X)
+		}
+	}
+	for _, g := range f.Globals {
+		visit(g.Pos)
+	}
+	for _, p := range f.Procs {
+		visit(p.Pos)
+		stmt(p.Body)
+	}
+}
+
+// FuzzLangParse feeds arbitrary source text to the front end: the parser
+// must never panic, and every position it attaches to an accepted AST
+// must point inside the source (1-based line within the line count,
+// 1-based column within that line, modulo a final newline).
+func FuzzLangParse(f *testing.F) {
+	f.Add("proc main(a) { return a; }\n")
+	f.Add("array buf[64];\nvar g;\nproc main(n) {\n\tfor (var i = 0; i < n; i = i + 1) { buf[i & 63] = g + i; }\n\treturn buf[0];\n}\n")
+	f.Add("proc f(x) { if (x < 0) { return -x; } else { return x; } }\nproc main(a) { out(f(a)); while (a > 0) { a = a - 1; } return 0; }")
+	f.Add("proc main() { var \x00; }")
+	f.Add("proc main(a) { return ((((((((a))))))))")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		file, err := Parse(src)
+		if err != nil {
+			return // rejected cleanly
+		}
+		if file == nil {
+			t.Fatal("nil file with nil error")
+		}
+		lines := strings.Split(src, "\n")
+		walkPos(file, func(p Pos) {
+			if p.Line < 1 || p.Line > len(lines) {
+				t.Fatalf("position %s outside %d-line source", p, len(lines))
+			}
+			// Columns are 1-based rune offsets; a token can start at most
+			// one past the end of its line (EOF-adjacent positions).
+			if n := len([]rune(lines[p.Line-1])); p.Col < 1 || p.Col > n+1 {
+				t.Fatalf("position %s outside line of length %d", p, n)
+			}
+		})
+	})
+}

@@ -152,16 +152,32 @@ func kmeansOnce(points [][]float64, weights []float64, k int, rng *stats.RNG, ma
 				sums[c][j] += x * weights[i]
 			}
 		}
+		var reseeded map[int]bool
 		for c := range centers {
 			if mass[c] == 0 {
-				// Re-seed an empty cluster at the most isolated point.
-				far, farD := 0, -1.0
+				// Re-seed an empty (zero-mass) cluster at the most isolated
+				// point. Several clusters can be empty in one update; each
+				// must take a *distinct* point — and claim it in assign — or
+				// they would all land on the same most-isolated point and
+				// stay duplicated centroids forever.
+				far, farD := -1, -1.0
 				for i, p := range points {
+					if reseeded[i] {
+						continue
+					}
 					if q := sqDist(p, centers[assign[i]]); q > farD {
 						far, farD = i, q
 					}
 				}
+				if far < 0 {
+					continue // more empty clusters than points
+				}
+				if reseeded == nil {
+					reseeded = make(map[int]bool)
+				}
+				reseeded[far] = true
 				copy(centers[c], points[far])
+				assign[far] = c
 				continue
 			}
 			for j := range centers[c] {

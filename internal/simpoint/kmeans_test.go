@@ -1,0 +1,68 @@
+package simpoint
+
+import (
+	"testing"
+
+	"phasemark/internal/stats"
+)
+
+func centersEqual(a, b []float64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Regression for the empty-cluster re-seeding bug: when two clusters went
+// empty in the same centroid update, both were re-seeded at the same
+// "most isolated" point, guaranteeing a duplicate centroid (and the
+// clusters stayed empty forever, since ties assign to the lower index).
+//
+// Duplicate points are the realistic trigger: intervals of a repeating
+// phase have identical BBVs, so k-means++ runs out of distinct seeds
+// (its duplicate-seeding fallback) and whole clusters tie away to the
+// lowest-indexed twin center.
+func TestKMeansReseedsEmptyClustersAtDistinctPoints(t *testing.T) {
+	// Two distinct locations, three copies each; k=4 forces at least two
+	// duplicate seeds, and before the fix the two resulting empty clusters
+	// never recovered.
+	points := [][]float64{
+		{0, 0}, {0, 0}, {0, 0},
+		{10, 10}, {10, 10}, {10, 10},
+	}
+	weights := []float64{1, 1, 1, 1, 1, 1}
+	for seed := uint64(0); seed < 50; seed++ {
+		assign, _, _, _ := kmeansOnce(points, weights, 4, stats.NewRNG(seed), 40)
+		got := map[int]int{}
+		for _, a := range assign {
+			if a < 0 || a >= 4 {
+				t.Fatalf("seed %d: assignment %d out of range", seed, a)
+			}
+			got[a]++
+		}
+		if len(got) != 4 {
+			t.Fatalf("seed %d: only %d of 4 clusters non-empty (assignments %v)", seed, len(got), assign)
+		}
+	}
+}
+
+// With at least k distinct points, simultaneous zero-mass clusters must
+// not produce duplicate centroids: each re-seed takes a distinct point.
+// Zero weights make the trigger deterministic — every cluster that holds
+// only zero-weight points has zero mass and enters the re-seed path.
+func TestKMeansZeroMassClustersGetDistinctCentroids(t *testing.T) {
+	points := [][]float64{{0}, {10}, {20}, {30}, {40}}
+	weights := []float64{1, 0, 0, 0, 0}
+	for seed := uint64(0); seed < 50; seed++ {
+		_, centers, _, _ := kmeansOnce(points, weights, 3, stats.NewRNG(seed), 40)
+		for i := range centers {
+			for j := i + 1; j < len(centers); j++ {
+				if centersEqual(centers[i], centers[j]) {
+					t.Fatalf("seed %d: duplicate centroids %d and %d at %v", seed, i, j, centers[i])
+				}
+			}
+		}
+	}
+}

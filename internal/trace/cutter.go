@@ -1,0 +1,47 @@
+package trace
+
+import (
+	"phasemark/internal/bbv"
+	"phasemark/internal/minivm"
+)
+
+// FixedCutter is a machine observer that invokes a cut callback every
+// step dynamic instructions, aligned to block boundaries: the cut fires
+// at the first block whose pre-block instruction count reaches the next
+// multiple of step, with the count at that point (so intervals never
+// split a basic block). It is the one fixed-length segmentation
+// implementation, shared by the timing-model tracer (Run) and the
+// multi-configuration cache study (internal/adapt).
+type FixedCutter struct {
+	minivm.NopObserver
+	cut    func(at uint64)
+	instrs uint64
+	next   uint64
+	step   uint64
+}
+
+// NewFixedCutter builds a cutter firing cut about every step instructions.
+func NewFixedCutter(step uint64, cut func(at uint64)) *FixedCutter {
+	return &FixedCutter{cut: cut, next: step, step: step}
+}
+
+// OnBlock implements minivm.Observer.
+func (f *FixedCutter) OnBlock(b *minivm.Block) {
+	if f.instrs >= f.next {
+		f.cut(f.instrs)
+		f.next += f.step
+	}
+	f.instrs += uint64(b.Weight())
+}
+
+// BBVObserver feeds every executed block into a bbv.Accumulator — the
+// shared basic-block-vector collection observer. Order it after the
+// cutter or detector in a MultiObserver so an interval's closing snapshot
+// excludes the block that begins the next interval.
+type BBVObserver struct {
+	minivm.NopObserver
+	Acc *bbv.Accumulator
+}
+
+// OnBlock implements minivm.Observer.
+func (o BBVObserver) OnBlock(b *minivm.Block) { o.Acc.Touch(b.ID, b.Weight()) }

@@ -110,30 +110,6 @@ func (c *collector) cut(phase int, at uint64) {
 	c.curPhase = phase
 }
 
-// bbvObserver feeds the accumulator; fixedCutter cuts on length.
-type bbvObserver struct {
-	minivm.NopObserver
-	acc *bbv.Accumulator
-}
-
-func (o bbvObserver) OnBlock(b *minivm.Block) { o.acc.Touch(b.ID, b.Weight()) }
-
-type fixedCutter struct {
-	minivm.NopObserver
-	c      *collector
-	instrs uint64
-	next   uint64
-	step   uint64
-}
-
-func (f *fixedCutter) OnBlock(b *minivm.Block) {
-	if f.instrs >= f.next {
-		f.c.cut(ProloguePhase, f.instrs)
-		f.next += f.step
-	}
-	f.instrs += uint64(b.Weight())
-}
-
 // Run executes the program under the timing model, cutting intervals per
 // cfg, and returns the segmented result.
 func Run(cfg Config) (*Result, error) {
@@ -159,8 +135,9 @@ func Run(cfg Config) (*Result, error) {
 	var obs minivm.MultiObserver
 	var det *core.Detector
 	if cfg.FixedLen > 0 {
-		fc := &fixedCutter{c: col, next: cfg.FixedLen, step: cfg.FixedLen}
-		obs = append(obs, fc)
+		obs = append(obs, NewFixedCutter(cfg.FixedLen, func(at uint64) {
+			col.cut(ProloguePhase, at)
+		}))
 	} else {
 		det = core.NewDetector(cfg.Prog, nil, cfg.Markers, func(marker int, at uint64) {
 			col.cut(marker, at)
@@ -169,7 +146,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 	obs = append(obs, cpu)
 	if !cfg.SkipBBV {
-		obs = append(obs, bbvObserver{acc: col.acc})
+		obs = append(obs, BBVObserver{Acc: col.acc})
 	}
 
 	m := minivm.NewMachine(cfg.Prog, obs)

@@ -119,12 +119,17 @@ func (c *Cache) MissRate() float64 {
 // Resize changes the associativity in place, keeping the most recently
 // used lines of each set up to the new way count (the adaptive cache of
 // §6.1 reconfigures 1..8 ways over fixed 512 sets). Counters are not
-// reset.
+// reset. Any active-way restriction is cleared: resizing redefines the
+// powered geometry, so all `ways` ways are active afterwards (a stale
+// window from a previous SetActiveWays must not survive the new shape —
+// e.g. SetActiveWays(4); Resize(2); Resize(8) would otherwise leave the
+// cache silently limited to 4 of its 8 ways).
 func (c *Cache) Resize(ways int) {
 	if ways <= 0 {
 		panic("uarch: ways must be positive")
 	}
 	c.cfg.Ways = ways
+	c.active = 0
 	for i, set := range c.sets {
 		if len(set) > ways {
 			c.sets[i] = set[:ways]

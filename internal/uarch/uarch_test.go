@@ -265,3 +265,35 @@ func TestActiveWaysMissBehavior(t *testing.T) {
 		t.Fatalf("miss count %d, want 9", c.Misses()-base)
 	}
 }
+
+// Regression: a Resize must clear any previous SetActiveWays restriction.
+// Before the fix, SetActiveWays(4); Resize(2); Resize(8) left active=4
+// behind, silently limiting the "8-way" cache to 4 ways.
+func TestResizeClearsStaleActiveWindow(t *testing.T) {
+	c := NewCache(CacheConfig{BlockBytes: 64, Sets: 1, Ways: 8})
+	c.SetActiveWays(4)
+	c.Resize(2)
+	if c.ActiveWays() != 2 {
+		t.Fatalf("after Resize(2): active ways %d, want 2", c.ActiveWays())
+	}
+	c.Resize(8)
+	if c.ActiveWays() != 8 {
+		t.Fatalf("after Resize(8): active ways %d, want 8", c.ActiveWays())
+	}
+	// Functionally: 8 conflicting blocks must now be co-resident.
+	for i := uint64(0); i < 8; i++ {
+		c.Access(i * 64)
+	}
+	for i := uint64(0); i < 8; i++ {
+		if !c.Access(i * 64) {
+			t.Fatalf("block %d evicted: cache still restricted to a stale active window", i)
+		}
+	}
+	// Shrinking below the active window must clamp it too: the window can
+	// never exceed the geometry it was set against.
+	c.SetActiveWays(6)
+	c.Resize(4)
+	if c.ActiveWays() != 4 {
+		t.Fatalf("after SetActiveWays(6); Resize(4): active ways %d, want 4", c.ActiveWays())
+	}
+}
