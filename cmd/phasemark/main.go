@@ -124,10 +124,13 @@ func loadProgram(workload, src, argsFlag, input string, copts compile.Options) (
 		for _, part := range strings.Split(argsFlag, ",") {
 			v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
 			if err != nil {
-				return nil, nil, fmt.Errorf("bad -args: %w", err)
+				return nil, nil, usageError{fmt.Errorf("bad -args: %w", err)}
 			}
 			args = append(args, v)
 		}
+	}
+	if input != "train" && input != "ref" {
+		return nil, nil, usageError{fmt.Errorf("unknown -input %q (known: train, ref)", input)}
 	}
 	switch {
 	case src != "":
@@ -140,7 +143,7 @@ func loadProgram(workload, src, argsFlag, input string, copts compile.Options) (
 	case workload != "":
 		w, err := workloads.ByName(workload)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, usageError{fmt.Errorf("%w (known: %s)", err, workloadNames())}
 		}
 		f, err := lang.Parse(w.Source)
 		if err != nil {
@@ -159,11 +162,29 @@ func loadProgram(workload, src, argsFlag, input string, copts compile.Options) (
 		}
 		return prog, args, nil
 	default:
-		return nil, nil, fmt.Errorf("need -workload or -src (try -list)")
+		return nil, nil, usageError{fmt.Errorf("need -workload or -src (known workloads: %s)", workloadNames())}
 	}
 }
 
+// workloadNames lists the built-in workloads for misuse messages.
+func workloadNames() string {
+	var names []string
+	for _, w := range workloads.All() {
+		names = append(names, w.Name)
+	}
+	return strings.Join(names, ", ")
+}
+
+// usageError marks a command-line mistake (unknown workload or input,
+// malformed arguments, missing required flags). fatal exits 2 for these —
+// matching spexp's unknown-figure handling — and 1 for everything else, so
+// scripts can tell misuse from genuine failures.
+type usageError struct{ error }
+
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "phasemark: %v\n", err)
+	if _, ok := err.(usageError); ok {
+		os.Exit(2)
+	}
 	os.Exit(1)
 }

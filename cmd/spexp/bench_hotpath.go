@@ -1,0 +1,41 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"phasemark/internal/hotbench"
+)
+
+// runBench measures the shared hot-path benchmark stages
+// (internal/hotbench — the same suite CI's perf gate runs as
+// BenchmarkHotpath) and records them under label in the
+// phasemark/bench-hotpath/v1 report at outPath. An existing run with the
+// same label is replaced in place; other runs are preserved, so the file
+// accumulates the before/after history of performance work. Progress and
+// per-stage results go to stderr; stdout is untouched.
+func runBench(outPath, label string) error {
+	rep, err := hotbench.LoadReport(outPath)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchmarking hot-path stages (label %q):\n", label)
+	run, err := hotbench.Measure(label, os.Stderr)
+	if err != nil {
+		return err
+	}
+	rep.SetRun(run)
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	if err := rep.Write(f); err != nil {
+		f.Close()
+		return fmt.Errorf("writing %s: %w", outPath, err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "(hot-path benchmark results written to %s)\n", outPath)
+	return nil
+}

@@ -12,6 +12,9 @@
 //	spexp -check            # correctness harness: invariant suite over all workloads
 //	spexp -check -j 8       # same, on 8 workers
 //
+//	spexp -bench                         # hot-path stage benchmarks -> BENCH_hotpath.json
+//	spexp -bench -bench-label optimized  # record this measurement under a label
+//
 //	spexp -fig all -metrics out.json        # + metrics snapshot & BENCH_obs.json
 //	spexp -fig 7 -trace-out trace.json      # + Chrome trace (chrome://tracing)
 //	spexp -fig all -pprof localhost:6060    # + live net/http/pprof server
@@ -55,6 +58,9 @@ import (
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 3,4,5,7,8,9,10,11,12,crossbinary,speed,scales,all")
 	checkRun := flag.Bool("check", false, "run the correctness harness instead of figures: differential backend oracle, segmentation/clustering invariants, detector/instrumentation equivalence over every workload (exit 1 on any violation)")
+	benchRun := flag.Bool("bench", false, "benchmark the hot-path stages (internal/hotbench) instead of generating figures, recording ns/op, allocs/op and throughput per stage")
+	benchOut := flag.String("bench-out", "BENCH_hotpath.json", "with -bench: write/merge the phasemark/bench-hotpath/v1 report here")
+	benchLabel := flag.String("bench-label", "local", "with -bench: label for this measurement run (an existing run with the same label is replaced)")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "workloads to evaluate in parallel")
 	metricsOut := flag.String("metrics", "", "write a metrics snapshot (counters, histograms, per-stage durations) to this JSON file, plus BENCH_obs.json with per-stage totals")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON file of every pipeline stage span")
@@ -71,6 +77,14 @@ func main() {
 	}
 	if *traceOut != "" {
 		obs.SetTraceCapture(true)
+	}
+
+	if *benchRun {
+		if err := runBench(*benchOut, *benchLabel); err != nil {
+			fmt.Fprintf(os.Stderr, "spexp: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *checkRun {

@@ -1,0 +1,34 @@
+package phasemark_test
+
+import (
+	"testing"
+
+	"phasemark/internal/hotbench"
+)
+
+// BenchmarkHotpath runs the shared execute/observe hot-path stages
+// (internal/hotbench) as sub-benchmarks. CI's bench-regression job runs
+// exactly this suite (`-bench '^BenchmarkHotpath$'`) on the PR head and
+// its merge base and fails on statistically significant slowdowns; `spexp
+// -bench` snapshots the same stages into BENCH_hotpath.json.
+func BenchmarkHotpath(b *testing.B) {
+	for _, st := range hotbench.Stages() {
+		b.Run(st.Name, func(b *testing.B) {
+			run, err := st.New()
+			if err != nil {
+				b.Fatal(err)
+			}
+			var work uint64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w, err := run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				work = w
+			}
+			b.ReportMetric(float64(work)*float64(b.N)/b.Elapsed().Seconds()/1e6, st.Unit)
+		})
+	}
+}

@@ -75,6 +75,9 @@ func newMultiCache() *multiCache {
 	return mc
 }
 
+// ObservedEvents implements minivm.EventMasker.
+func (mc *multiCache) ObservedEvents() minivm.EventMask { return minivm.EvMem }
+
 // OnMem implements minivm.Observer.
 func (mc *multiCache) OnMem(addr uint64, write bool) {
 	mc.accesses++

@@ -143,6 +143,8 @@ type onlineObs struct {
 	st *onlineState
 }
 
+func (o onlineObs) ObservedEvents() minivm.EventMask { return minivm.EvBlock | minivm.EvMem }
+
 func (o onlineObs) OnBlock(b *minivm.Block) { o.st.instrs += uint64(b.Weight()) }
 func (o onlineObs) OnMem(addr uint64, write bool) {
 	o.st.onMem(addr)

@@ -7,7 +7,7 @@ package bbv
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"phasemark/internal/stats"
 )
@@ -84,11 +84,23 @@ func (v Vector) Project(p *stats.Projection) []float64 {
 
 // Accumulator gathers block executions for the current interval using a
 // dense scratch array plus a touched list, snapshotting to sparse vectors
-// at interval boundaries.
+// at interval boundaries. The scratch is reused across cuts, and snapshot
+// storage is carved from append-only chunks, so a long segmented run costs
+// one allocation per ~chunk of intervals rather than two per interval.
 type Accumulator struct {
 	counts  []float64
 	touched []int32
+
+	// Snapshot chunks: carved regions are never written again (vectors are
+	// immutable once returned), so the chunks can be shared by every
+	// snapshot cut from them.
+	idxChunk []int32
+	valChunk []float64
 }
+
+// snapshotChunk is the allocation granularity for snapshot storage
+// (entries; one chunk serves many sparse intervals).
+const snapshotChunk = 1 << 12
 
 // NewAccumulator sizes the scratch for numBlocks static blocks.
 func NewAccumulator(numBlocks int) *Accumulator {
@@ -105,9 +117,22 @@ func (a *Accumulator) Touch(id int, weight int) {
 }
 
 // Snapshot extracts the accumulated vector and resets the accumulator.
+// The returned vector's storage comes from the accumulator's internal
+// chunks; it stays valid (and immutable) for the life of the vector.
 func (a *Accumulator) Snapshot() Vector {
-	sort.Slice(a.touched, func(i, j int) bool { return a.touched[i] < a.touched[j] })
-	v := Vector{Idx: make([]int32, len(a.touched)), Val: make([]float64, len(a.touched))}
+	slices.Sort(a.touched)
+	n := len(a.touched)
+	if len(a.idxChunk)+n > cap(a.idxChunk) {
+		a.idxChunk = make([]int32, 0, max(n, snapshotChunk))
+		a.valChunk = make([]float64, 0, max(n, snapshotChunk))
+	}
+	li, lv := len(a.idxChunk), len(a.valChunk)
+	a.idxChunk = a.idxChunk[: li+n : cap(a.idxChunk)]
+	a.valChunk = a.valChunk[: lv+n : cap(a.valChunk)]
+	v := Vector{
+		Idx: a.idxChunk[li : li+n : li+n],
+		Val: a.valChunk[lv : lv+n : lv+n],
+	}
 	for i, id := range a.touched {
 		v.Idx[i] = id
 		v.Val[i] = a.counts[id]

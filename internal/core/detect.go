@@ -19,30 +19,47 @@ type BoundaryFunc func(marker int, at uint64)
 type Detector struct {
 	*Walker
 	set    *MarkerSet
-	byKey  map[EdgeKey]int
+	bySite [][]siteMarker
 	seen   []uint64
 	fired  []uint64
 	onFire BoundaryFunc
+}
+
+// siteMarker is one marker anchored at a site block, for the dense
+// site-indexed lookup detectSink uses on the hot path.
+type siteMarker struct {
+	key EdgeKey
+	idx int
 }
 
 type detectSink struct{ d *Detector }
 
 func (s detectSink) EdgeOpen(k EdgeKey, at uint64) {
 	d := s.d
-	i, ok := d.byKey[k]
-	if !ok {
+	// Almost every edge open is not a marker: reject those with a single
+	// indexed load on the site block ID instead of hashing the full key.
+	if uint(k.Site) >= uint(len(d.bySite)) {
 		return
 	}
-	d.seen[i]++
-	if (d.seen[i]-1)%d.set.Markers[i].GroupN == 0 {
-		d.fired[i]++
-		if d.onFire != nil {
-			d.onFire(i, at)
+	for _, sm := range d.bySite[k.Site] {
+		if sm.key == k {
+			i := sm.idx
+			d.seen[i]++
+			if (d.seen[i]-1)%d.set.Markers[i].GroupN == 0 {
+				d.fired[i]++
+				if d.onFire != nil {
+					d.onFire(i, at)
+				}
+			}
+			return
 		}
 	}
 }
 
 func (s detectSink) EdgeClose(EdgeKey, uint64) {}
+
+// edgeOpenOnly tells the walker detection never reads edge closes.
+func (s detectSink) edgeOpenOnly() {}
 
 // NewDetector builds a detector for set over prog. The loop table may be
 // shared with other components; pass nil to compute it here.
@@ -52,10 +69,15 @@ func NewDetector(prog *minivm.Program, loops *minivm.Loops, set *MarkerSet, onFi
 	}
 	d := &Detector{
 		set:    set,
-		byKey:  set.ByKey(),
+		bySite: make([][]siteMarker, prog.NumBlocks),
 		seen:   make([]uint64, len(set.Markers)),
 		fired:  make([]uint64, len(set.Markers)),
 		onFire: onFire,
+	}
+	for i, mk := range set.Markers {
+		if s := mk.Key.Site; s >= 0 && s < len(d.bySite) {
+			d.bySite[s] = append(d.bySite[s], siteMarker{key: mk.Key, idx: i})
+		}
 	}
 	d.Walker = NewWalker(prog, loops, detectSink{d: d})
 	return d

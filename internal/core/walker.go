@@ -19,6 +19,12 @@ type EdgeSink interface {
 	EdgeClose(k EdgeKey, hier uint64)
 }
 
+// edgeOpenOnly marks EdgeSinks whose EdgeClose is a no-op (the detector:
+// markers fire on edge opens). The walker then skips the close call on
+// every pop, which otherwise costs an interface dispatch plus an EdgeKey
+// copy per edge traversal.
+type edgeOpenOnly interface{ edgeOpenOnly() }
+
 type walkEntry struct {
 	key   EdgeKey
 	node  NodeKey // the context node this entry establishes
@@ -36,19 +42,21 @@ type walkEntry struct {
 // Wire it to a Machine as the Observer (fan in with MultiObserver to
 // combine with others).
 type Walker struct {
-	prog    *minivm.Program
-	loops   *minivm.Loops
-	sink    EdgeSink
-	tracker *minivm.LoopTracker
-	instrs  uint64
-	stack   []walkEntry
-	act     []int // activation count per proc ID (recursion detection)
+	prog     *minivm.Program
+	loops    *minivm.Loops
+	sink     EdgeSink
+	tracker  *minivm.LoopTracker
+	instrs   uint64
+	stack    []walkEntry
+	act      []int // activation count per proc ID (recursion detection)
+	openOnly bool  // sink ignores EdgeClose (see edgeOpenOnly)
 }
 
 // NewWalker builds a walker over prog (with the given loop table, which
 // must come from the same program) reporting to sink.
 func NewWalker(prog *minivm.Program, loops *minivm.Loops, sink EdgeSink) *Walker {
 	w := &Walker{prog: prog, loops: loops, sink: sink, act: make([]int, len(prog.Procs))}
+	_, w.openOnly = sink.(edgeOpenOnly)
 	w.tracker = minivm.NewLoopTracker(loops, w)
 	entry := prog.EntryProc()
 	// The virtual root calls the entry procedure.
@@ -59,6 +67,13 @@ func NewWalker(prog *minivm.Program, loops *minivm.Loops, sink EdgeSink) *Walker
 
 // Instructions reports the dynamic instructions observed so far.
 func (w *Walker) Instructions() uint64 { return w.instrs }
+
+// ObservedEvents implements minivm.EventMasker: the walker mirrors control
+// flow (blocks, calls, returns) and never reads branch outcomes or memory
+// references. Embedders (Profiler, Detector) inherit the mask.
+func (w *Walker) ObservedEvents() minivm.EventMask {
+	return minivm.EvBlock | minivm.EvCall | minivm.EvReturn
+}
 
 func (w *Walker) top() NodeKey {
 	if len(w.stack) == 0 {
@@ -73,9 +88,11 @@ func (w *Walker) push(key EdgeKey, node NodeKey, full bool) {
 }
 
 func (w *Walker) pop() {
-	e := w.stack[len(w.stack)-1]
-	w.stack = w.stack[:len(w.stack)-1]
-	w.sink.EdgeClose(e.key, w.instrs-e.start)
+	n := len(w.stack) - 1
+	if !w.openOnly {
+		w.sink.EdgeClose(w.stack[n].key, w.instrs-w.stack[n].start)
+	}
+	w.stack = w.stack[:n]
 }
 
 func (w *Walker) openProc(ctx NodeKey, callee *minivm.Proc, site int) {

@@ -143,6 +143,9 @@ type traceCap struct {
 	seq []int
 }
 
+// ObservedEvents implements minivm.EventMasker.
+func (t *traceCap) ObservedEvents() minivm.EventMask { return minivm.EvBlock }
+
 func (t *traceCap) OnBlock(b *minivm.Block) {
 	if len(t.seq) < t.cap {
 		t.seq = append(t.seq, b.ID)

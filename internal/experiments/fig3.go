@@ -69,6 +69,9 @@ type tvCollector struct {
 	points []tvPoint
 }
 
+// ObservedEvents implements minivm.EventMasker.
+func (c *tvCollector) ObservedEvents() minivm.EventMask { return minivm.EvBlock }
+
 func (c *tvCollector) OnBlock(b *minivm.Block) {
 	if c.next == 0 {
 		c.next = c.slice

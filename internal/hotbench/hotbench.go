@@ -1,0 +1,213 @@
+// Package hotbench defines the execute/observe hot-path benchmark stages
+// shared by the root benchmark suite (hotpath_bench_test.go, which the CI
+// perf-regression gate runs on head and merge base) and `spexp -bench`
+// (which snapshots the same stages into BENCH_hotpath.json, the repo's
+// committed performance record).
+//
+// Each stage pins its workload, input, and configuration so runs are
+// comparable across commits: the workload programs are deterministic and
+// the synthetic address stream is seeded, so only the code under test
+// changes between measurements.
+package hotbench
+
+import (
+	"phasemark/internal/core"
+	"phasemark/internal/minivm"
+	"phasemark/internal/trace"
+	"phasemark/internal/uarch"
+	"phasemark/internal/workloads"
+)
+
+// Stage is one benchmarkable slice of the pipeline. New builds the
+// stage's fixed inputs (compiled program, marker set, ...) once; the
+// returned run function executes one operation and reports the work units
+// it processed (dynamic instructions, or memory events for cpu_onmem).
+type Stage struct {
+	Name string // stable key in the phasemark/bench-hotpath/v1 schema
+	Desc string
+	Unit string // throughput metric name: "Minstr/s" or "Mevents/s"
+	New  func() (func() (uint64, error), error)
+}
+
+// markerILower is the interval lower bound used by the marker-selection
+// stages; it matches the experiment suite's small-interval configurations.
+const markerILower = 100_000
+
+// fixedLen is the fixed-interval length of the trace_fixed stage.
+const fixedLen = 100_000
+
+// onMemEvents is the synthetic memory-event count per cpu_onmem op.
+const onMemEvents = 1 << 20
+
+// Stages returns the hot-path stages in reporting order.
+func Stages() []Stage {
+	return []Stage{
+		{
+			Name: "interp_dispatch",
+			Desc: "steady-state interpreter dispatch: applu (optimized) on its train input, machine reused via Reset, no observers",
+			Unit: "Minstr/s",
+			New:  newInterpDispatch,
+		},
+		{
+			Name: "detector_fire",
+			Desc: "marker detection: art on its train input under a walker-based detector for its own markers",
+			Unit: "Minstr/s",
+			New:  newDetectorFire,
+		},
+		{
+			Name: "trace_fixed",
+			Desc: "fixed-cut tracing: gzip on its train input, 100k-instruction intervals, timing model + BBVs",
+			Unit: "Minstr/s",
+			New:  newTraceFixed,
+		},
+		{
+			Name: "trace_marker",
+			Desc: "marker-cut tracing: art on its train input, intervals cut at marker firings, timing model + BBVs",
+			Unit: "Minstr/s",
+			New:  newTraceMarker,
+		},
+		{
+			Name: "cpu_onmem",
+			Desc: "cache hierarchy: 1Mi synthetic word accesses (seeded xorshift over 1 MiB mixed with a hot stride)",
+			Unit: "Mevents/s",
+			New:  newCPUOnMem,
+		},
+		{
+			Name: "pipeline_e2e",
+			Desc: "profile -> select -> marker-cut trace, end to end on gzip's train input",
+			Unit: "Minstr/s",
+			New:  newPipelineE2E,
+		},
+	}
+}
+
+func compiled(name string, opt bool) (*minivm.Program, *workloads.Workload, error) {
+	w, err := workloads.ByName(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	return w.MustCompile(opt), w, nil
+}
+
+func newInterpDispatch() (func() (uint64, error), error) {
+	prog, w, err := compiled("applu", true)
+	if err != nil {
+		return nil, err
+	}
+	m := minivm.NewMachine(prog, nil)
+	return func() (uint64, error) {
+		m.Reset()
+		if _, err := m.Run(w.Train...); err != nil {
+			return 0, err
+		}
+		return m.Instructions(), nil
+	}, nil
+}
+
+func markerSet(prog *minivm.Program, args []int64) (*core.MarkerSet, error) {
+	g, err := core.ProfileRun(prog, args...)
+	if err != nil {
+		return nil, err
+	}
+	return core.SelectMarkers(g, core.SelectOptions{ILower: markerILower}), nil
+}
+
+func newDetectorFire() (func() (uint64, error), error) {
+	prog, w, err := compiled("art", false)
+	if err != nil {
+		return nil, err
+	}
+	set, err := markerSet(prog, w.Train)
+	if err != nil {
+		return nil, err
+	}
+	loops := minivm.FindLoops(prog)
+	return func() (uint64, error) {
+		det := core.NewDetector(prog, loops, set, nil)
+		m := minivm.NewMachine(prog, det)
+		if _, err := m.Run(w.Train...); err != nil {
+			return 0, err
+		}
+		return m.Instructions(), nil
+	}, nil
+}
+
+func newTraceFixed() (func() (uint64, error), error) {
+	prog, w, err := compiled("gzip", false)
+	if err != nil {
+		return nil, err
+	}
+	cfg := trace.Config{Prog: prog, Args: w.Train, CPU: uarch.DefaultConfig(), FixedLen: fixedLen}
+	return func() (uint64, error) {
+		r, err := trace.Run(cfg)
+		if err != nil {
+			return 0, err
+		}
+		return r.Instructions, nil
+	}, nil
+}
+
+func newTraceMarker() (func() (uint64, error), error) {
+	prog, w, err := compiled("art", false)
+	if err != nil {
+		return nil, err
+	}
+	set, err := markerSet(prog, w.Train)
+	if err != nil {
+		return nil, err
+	}
+	cfg := trace.Config{Prog: prog, Args: w.Train, CPU: uarch.DefaultConfig(), Markers: set}
+	return func() (uint64, error) {
+		r, err := trace.Run(cfg)
+		if err != nil {
+			return 0, err
+		}
+		return r.Instructions, nil
+	}, nil
+}
+
+func newCPUOnMem() (func() (uint64, error), error) {
+	prog, _, err := compiled("art", false)
+	if err != nil {
+		return nil, err
+	}
+	ucfg := uarch.DefaultConfig()
+	return func() (uint64, error) {
+		cpu := uarch.NewCPU(ucfg, prog)
+		x := uint64(12345)
+		for j := 0; j < onMemEvents; j++ {
+			// Seeded xorshift over a 1 MiB working set, word-aligned, with a
+			// hot stride run mixed in (mimics array sweeps).
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			var addr uint64
+			if j&7 != 0 {
+				addr = uint64(j&4095) * 8 // hot sweep: mostly L1 hits
+			} else {
+				addr = (x % (1 << 20)) &^ 7
+			}
+			cpu.OnMem(addr, j&15 == 0)
+		}
+		return onMemEvents, nil
+	}, nil
+}
+
+func newPipelineE2E() (func() (uint64, error), error) {
+	prog, w, err := compiled("gzip", false)
+	if err != nil {
+		return nil, err
+	}
+	ucfg := uarch.DefaultConfig()
+	return func() (uint64, error) {
+		set, err := markerSet(prog, w.Train)
+		if err != nil {
+			return 0, err
+		}
+		r, err := trace.Run(trace.Config{Prog: prog, Args: w.Train, CPU: ucfg, Markers: set})
+		if err != nil {
+			return 0, err
+		}
+		return r.Instructions, nil
+	}, nil
+}

@@ -29,8 +29,51 @@ type Observer interface {
 	OnMem(addr uint64, write bool)
 }
 
+// EventMask is a bit set of the Observer callbacks an observer consumes.
+type EventMask uint8
+
+// The observable event kinds.
+const (
+	EvBlock EventMask = 1 << iota
+	EvCall
+	EvReturn
+	EvBranch
+	EvMem
+
+	// EvAll is every event — the conservative default for observers that
+	// do not declare a mask.
+	EvAll = EvBlock | EvCall | EvReturn | EvBranch | EvMem
+)
+
+// EventMasker is optionally implemented by Observers to declare which
+// events they actually consume. The machine builds one dispatch list per
+// event kind from the masks, so an event nobody consumes costs no observer
+// call at all (the paper's §4 concern: instrumentation overhead on events
+// the analysis never reads). Observers without the method receive every
+// event, exactly as before the masks existed.
+//
+// The mask must be a static property of the observer: the machine reads it
+// once at construction.
+type EventMasker interface {
+	ObservedEvents() EventMask
+}
+
+// MaskOf reports the events o consumes: its declared mask, or EvAll when
+// it does not implement EventMasker (nil observers consume nothing).
+func MaskOf(o Observer) EventMask {
+	if o == nil {
+		return 0
+	}
+	if em, ok := o.(EventMasker); ok {
+		return em.ObservedEvents()
+	}
+	return EvAll
+}
+
 // NopObserver implements Observer with no-ops; embed it to observe only
-// some events.
+// some events. It deliberately does NOT implement EventMasker: an embedder
+// overriding OnBlock alone must still receive OnBlock, so the conservative
+// EvAll default applies unless the embedder declares its own mask.
 type NopObserver struct{}
 
 // OnBlock implements Observer.
@@ -48,8 +91,21 @@ func (NopObserver) OnBranch(*Block, bool) {}
 // OnMem implements Observer.
 func (NopObserver) OnMem(uint64, bool) {}
 
-// MultiObserver fans events out to several observers in order.
+// MultiObserver fans events out to several observers in order. The machine
+// flattens it at construction into per-event dispatch lists, so nesting
+// MultiObservers or including no-op observers costs nothing at run time;
+// calling its methods directly (outside a Machine) fans out dynamically.
 type MultiObserver []Observer
+
+// ObservedEvents implements EventMasker as the union of the members'
+// masks.
+func (m MultiObserver) ObservedEvents() EventMask {
+	var ev EventMask
+	for _, o := range m {
+		ev |= MaskOf(o)
+	}
+	return ev
+}
 
 // OnBlock implements Observer.
 func (m MultiObserver) OnBlock(b *Block) {
@@ -84,6 +140,63 @@ func (m MultiObserver) OnMem(addr uint64, write bool) {
 	for _, o := range m {
 		o.OnMem(addr, write)
 	}
+}
+
+// maskedObserver pairs an observer with an overriding event mask (see
+// Masked).
+type maskedObserver struct {
+	Observer
+	mask EventMask
+}
+
+// ObservedEvents implements EventMasker with the overriding mask.
+func (mo maskedObserver) ObservedEvents() EventMask { return mo.mask }
+
+// Masked restricts o to the given events (intersected with o's own mask).
+// Use it when a composite pipeline handles some of an observer's events
+// through another path — e.g. folding its block accounting into a fused
+// observer — and the machine must not also dispatch those events to o
+// directly. NewMachine unwraps the wrapper when building its dispatch
+// lists, so masking costs nothing per event.
+func Masked(o Observer, mask EventMask) Observer {
+	return maskedObserver{Observer: o, mask: mask & MaskOf(o)}
+}
+
+// sink is the per-event dispatch list: the common shapes (no observer for
+// the event, exactly one) are dedicated fields so the hot loop pays one
+// nil check and a direct interface call instead of ranging over a slice;
+// two or more observers fall back to the slice.
+type sink struct {
+	one  Observer   // set iff exactly one observer consumes the event
+	many []Observer // set iff two or more do
+}
+
+func (s *sink) set(obs []Observer) {
+	switch len(obs) {
+	case 0:
+	case 1:
+		s.one = obs[0]
+	default:
+		s.many = obs
+	}
+}
+
+// flattenObservers expands nested MultiObservers into a flat ordered list,
+// dropping observers whose mask is empty.
+func flattenObservers(o Observer, out []Observer) []Observer {
+	if o == nil {
+		return out
+	}
+	if m, ok := o.(MultiObserver); ok {
+		for _, sub := range m {
+			out = flattenObservers(sub, out)
+		}
+		return out
+	}
+	if MaskOf(o) == 0 {
+		return out
+	}
+	return append(out, o)
 }
 
 // Runtime errors surfaced by the interpreter.
@@ -122,9 +235,24 @@ var (
 // Machine executes a validated Program. The zero value is not usable; use
 // NewMachine.
 type Machine struct {
-	prog      *Program
-	mem       []int64
-	obs       Observer
+	prog *Program
+	mem  []int64
+
+	// Per-event observer dispatch, built once from the observer passed to
+	// NewMachine (see EventMasker). An empty sink means the event is not
+	// emitted at all.
+	onBlock  sink
+	onCall   sink
+	onRet    sink
+	onBranch sink
+	onMem    sink
+
+	// regs is the register arena: each frame owns the window
+	// [frame.base, frame.base+frame.nregs). Calls extend it and returns
+	// truncate it, so the steady state allocates nothing.
+	regs   []int64
+	frames []frame
+
 	out       []int64
 	instrs    uint64
 	branches  uint64
@@ -140,18 +268,46 @@ type Machine struct {
 	MarkFunc func(id int64)
 }
 
-// NewMachine builds a machine for prog reporting to obs (nil for none).
-func NewMachine(prog *Program, obs Observer) *Machine {
-	if obs == nil {
-		obs = NopObserver{}
-	}
-	return &Machine{
+// NewMachine builds a machine for prog reporting to observer (nil for
+// none). The observer's per-event dispatch is resolved here, once: nested
+// MultiObservers are flattened and every event kind gets its own direct
+// call list, filtered by the observers' EventMasks.
+func NewMachine(prog *Program, observer Observer) *Machine {
+	m := &Machine{
 		prog:      prog,
 		mem:       make([]int64, prog.GlobalWords),
-		obs:       obs,
 		MaxInstrs: DefaultMaxInstrs,
 		MaxDepth:  DefaultMaxDepth,
 	}
+	flat := flattenObservers(observer, nil)
+	var block, call, ret, branch, mem []Observer
+	for _, o := range flat {
+		ev := MaskOf(o)
+		if mo, ok := o.(maskedObserver); ok {
+			o = mo.Observer // dispatch straight to the wrapped observer
+		}
+		if ev&EvBlock != 0 {
+			block = append(block, o)
+		}
+		if ev&EvCall != 0 {
+			call = append(call, o)
+		}
+		if ev&EvReturn != 0 {
+			ret = append(ret, o)
+		}
+		if ev&EvBranch != 0 {
+			branch = append(branch, o)
+		}
+		if ev&EvMem != 0 {
+			mem = append(mem, o)
+		}
+	}
+	m.onBlock.set(block)
+	m.onCall.set(call)
+	m.onRet.set(ret)
+	m.onBranch.set(branch)
+	m.onMem.set(mem)
+	return m
 }
 
 // Instructions reports the number of dynamic instructions executed so far
@@ -187,16 +343,47 @@ func (m *Machine) Output() []int64 { return m.out }
 // Mem exposes the data memory (for tests).
 func (m *Machine) Mem() []int64 { return m.mem }
 
+// Reset returns the machine to its pre-Run state — data memory zeroed,
+// output truncated, event counters cleared — while keeping every allocated
+// buffer (memory image, register arena, frame stack, output capacity), so
+// a warmed machine re-runs the program without heap allocations. Observer
+// state is NOT touched: callers reusing stateful observers across runs
+// must reset those separately. Must not be called while Run is executing.
+func (m *Machine) Reset() {
+	clear(m.mem)
+	m.out = m.out[:0]
+	m.instrs, m.branches, m.calls, m.memRefs, m.marks = 0, 0, 0, 0, 0
+	m.flushed = [5]uint64{}
+}
+
 type frame struct {
 	proc   *Proc
-	regs   []int64
+	base   int   // register window start in Machine.regs
+	nregs  int   // register window length
 	retBlk int   // caller block index to resume at
 	retReg uint8 // caller register receiving the return value
+}
+
+// growZero extends s by n zeroed elements, reusing capacity when it can.
+func growZero(s []int64, n int) []int64 {
+	l := len(s)
+	if l+n <= cap(s) {
+		s = s[: l+n : cap(s)]
+		clear(s[l:])
+		return s
+	}
+	ns := make([]int64, l+n, 2*(l+n)+64)
+	copy(ns, s)
+	return ns
 }
 
 // Run executes the program's entry procedure with the given arguments
 // (copied into the entry proc's first registers). It returns the entry
 // procedure's return value (0 if it halts without returning).
+//
+// The hot loop emits observer events through the per-event sinks resolved
+// in NewMachine: no event nobody consumes is dispatched, a single consumer
+// is called directly, and only genuinely shared events range over a list.
 func (m *Machine) Run(args ...int64) (int64, error) {
 	entry := m.prog.EntryProc()
 	if len(args) != entry.NumArgs {
@@ -204,20 +391,26 @@ func (m *Machine) Run(args ...int64) (int64, error) {
 			entry.Name, entry.NumArgs, len(args))
 	}
 	defer m.flushObs()
-	regs := make([]int64, entry.NumRegs)
-	copy(regs, args)
-	stack := []frame{{proc: entry, regs: regs}}
-	fr := &stack[0]
+	m.regs = growZero(m.regs[:0], entry.NumRegs)
+	copy(m.regs, args)
+	m.frames = append(m.frames[:0], frame{proc: entry, nregs: entry.NumRegs})
+	fr := &m.frames[0]
 	bi := 0
 
 	for {
 		b := fr.proc.Blocks[bi]
-		m.obs.OnBlock(b)
+		if o := m.onBlock.one; o != nil {
+			o.OnBlock(b)
+		} else if m.onBlock.many != nil {
+			for _, o := range m.onBlock.many {
+				o.OnBlock(b)
+			}
+		}
 		m.instrs += uint64(b.Weight())
 		if m.instrs > m.MaxInstrs {
 			return 0, fmt.Errorf("%w (limit %d)", ErrInstrLimit, m.MaxInstrs)
 		}
-		regs := fr.regs
+		regs := m.regs[fr.base : fr.base+fr.nregs]
 		for _, in := range b.Instr {
 			switch in.Op {
 			case OpNop:
@@ -265,7 +458,13 @@ func (m *Machine) Run(args ...int64) (int64, error) {
 					return 0, fmt.Errorf("%w: load word %d in %s b%d", ErrMemFault, addr, fr.proc.Name, b.Index)
 				}
 				m.memRefs++
-				m.obs.OnMem(uint64(addr)*WordBytes, false)
+				if o := m.onMem.one; o != nil {
+					o.OnMem(uint64(addr)*WordBytes, false)
+				} else if m.onMem.many != nil {
+					for _, o := range m.onMem.many {
+						o.OnMem(uint64(addr)*WordBytes, false)
+					}
+				}
 				regs[in.A] = m.mem[addr]
 			case OpStore:
 				addr := regs[in.B] + in.Imm
@@ -273,7 +472,13 @@ func (m *Machine) Run(args ...int64) (int64, error) {
 					return 0, fmt.Errorf("%w: store word %d in %s b%d", ErrMemFault, addr, fr.proc.Name, b.Index)
 				}
 				m.memRefs++
-				m.obs.OnMem(uint64(addr)*WordBytes, true)
+				if o := m.onMem.one; o != nil {
+					o.OnMem(uint64(addr)*WordBytes, true)
+				} else if m.onMem.many != nil {
+					for _, o := range m.onMem.many {
+						o.OnMem(uint64(addr)*WordBytes, true)
+					}
+				}
 				m.mem[addr] = regs[in.A]
 			case OpOut:
 				m.out = append(m.out, regs[in.A])
@@ -292,7 +497,13 @@ func (m *Machine) Run(args ...int64) (int64, error) {
 		case TermBranch:
 			m.branches++
 			taken := t.Cond.Eval(regs[t.A], regs[t.B])
-			m.obs.OnBranch(b, taken)
+			if o := m.onBranch.one; o != nil {
+				o.OnBranch(b, taken)
+			} else if m.onBranch.many != nil {
+				for _, o := range m.onBranch.many {
+					o.OnBranch(b, taken)
+				}
+			}
 			if taken {
 				bi = t.Target
 			} else {
@@ -300,39 +511,65 @@ func (m *Machine) Run(args ...int64) (int64, error) {
 			}
 		case TermCall:
 			m.calls++
-			if len(stack) >= m.MaxDepth {
+			if len(m.frames) >= m.MaxDepth {
 				return 0, ErrStackOverflow
 			}
 			callee := m.prog.Procs[t.Callee]
-			nregs := make([]int64, callee.NumRegs)
+			base := len(m.regs)
+			m.regs = growZero(m.regs, callee.NumRegs)
+			// regs may have been reallocated by the grow: re-derive the
+			// caller window from the arena before copying arguments.
+			caller := m.regs[fr.base : fr.base+fr.nregs]
 			for i, a := range t.Args {
-				nregs[i] = regs[a]
+				m.regs[base+i] = caller[a]
 			}
-			m.obs.OnCall(b, callee)
-			stack = append(stack, frame{
+			if o := m.onCall.one; o != nil {
+				o.OnCall(b, callee)
+			} else if m.onCall.many != nil {
+				for _, o := range m.onCall.many {
+					o.OnCall(b, callee)
+				}
+			}
+			m.frames = append(m.frames, frame{
 				proc:   callee,
-				regs:   nregs,
+				base:   base,
+				nregs:  callee.NumRegs,
 				retBlk: t.Next,
 				retReg: t.Ret,
 			})
-			fr = &stack[len(stack)-1]
+			fr = &m.frames[len(m.frames)-1]
 			bi = 0
 		case TermRet:
 			rv := regs[t.Ret]
-			m.obs.OnReturn(fr.proc)
-			if len(stack) == 1 {
+			if o := m.onRet.one; o != nil {
+				o.OnReturn(fr.proc)
+			} else if m.onRet.many != nil {
+				for _, o := range m.onRet.many {
+					o.OnReturn(fr.proc)
+				}
+			}
+			if len(m.frames) == 1 {
 				return rv, nil
 			}
 			retBlk, retReg := fr.retBlk, fr.retReg
-			stack = stack[:len(stack)-1]
-			fr = &stack[len(stack)-1]
-			fr.regs[retReg] = rv
+			m.regs = m.regs[:fr.base]
+			m.frames = m.frames[:len(m.frames)-1]
+			fr = &m.frames[len(m.frames)-1]
+			m.regs[fr.base+int(retReg)] = rv
 			bi = retBlk
 		case TermHalt:
 			// Unwind observers for any active frames so profilers see a
 			// balanced call/return stream.
-			for i := len(stack) - 1; i >= 0; i-- {
-				m.obs.OnReturn(stack[i].proc)
+			if m.onRet.one != nil || m.onRet.many != nil {
+				for i := len(m.frames) - 1; i >= 0; i-- {
+					if o := m.onRet.one; o != nil {
+						o.OnReturn(m.frames[i].proc)
+					} else {
+						for _, o := range m.onRet.many {
+							o.OnReturn(m.frames[i].proc)
+						}
+					}
+				}
 			}
 			return 0, nil
 		}

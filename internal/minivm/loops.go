@@ -28,23 +28,25 @@ func (l *Loop) String() string {
 }
 
 // Loops is the loop table for one program: per-procedure loops ordered by
-// head index, plus a head-block lookup.
+// head index, plus a head-block lookup. The lookup is a dense slice
+// indexed by global block ID — the loop tracker consults it once per
+// executed block, and a map probe there dominated the walker's hot path.
 type Loops struct {
-	ByProc [][]*Loop        // indexed by proc ID, ordered by head index
-	byHead map[*Block]*Loop // head block -> loop
-	All    []*Loop
+	ByProc   [][]*Loop // indexed by proc ID, ordered by head index
+	headByID []*Loop   // indexed by global block ID; nil for non-heads
+	All      []*Loop
 }
 
 // LoopAtHead returns the loop whose head is b, or nil.
-func (ls *Loops) LoopAtHead(b *Block) *Loop { return ls.byHead[b] }
+func (ls *Loops) LoopAtHead(b *Block) *Loop { return ls.headByID[b.ID] }
 
 // FindLoops discovers all loops in the program from backwards branches.
 // Our compiler generates only reducible loops entered through their heads,
 // so the region-based runtime tracking below is exact.
 func FindLoops(p *Program) *Loops {
 	ls := &Loops{
-		ByProc: make([][]*Loop, len(p.Procs)),
-		byHead: make(map[*Block]*Loop),
+		ByProc:   make([][]*Loop, len(p.Procs)),
+		headByID: make([]*Loop, p.NumBlocks),
 	}
 	for _, pr := range p.Procs {
 		byHead := map[int]*Loop{} // head index -> loop
@@ -84,7 +86,7 @@ func FindLoops(p *Program) *Loops {
 			if l.Parent != nil {
 				l.Depth = l.Parent.Depth + 1
 			}
-			ls.byHead[l.Head] = l
+			ls.headByID[l.Head.ID] = l
 		}
 		ls.ByProc[pr.ID] = loops
 		ls.All = append(ls.All, loops...)
@@ -147,6 +149,10 @@ func NewLoopTracker(loops *Loops, ev LoopEvents) *LoopTracker {
 	return &LoopTracker{loops: loops, ev: ev, frames: []loopFrame{{}}}
 }
 
+// ObservedEvents implements EventMasker: loop reconstruction needs only
+// control-flow events.
+func (t *LoopTracker) ObservedEvents() EventMask { return EvBlock | EvCall | EvReturn }
+
 // OnBlock implements Observer.
 func (t *LoopTracker) OnBlock(b *Block) {
 	fr := &t.frames[len(t.frames)-1]
@@ -159,7 +165,7 @@ func (t *LoopTracker) OnBlock(b *Block) {
 		fr.active = fr.active[:len(fr.active)-1]
 		t.ev.OnLoopExit(top)
 	}
-	if l := t.loops.byHead[b]; l != nil {
+	if l := t.loops.headByID[b.ID]; l != nil {
 		if n := len(fr.active); n > 0 && fr.active[n-1] == l {
 			t.ev.OnLoopIterate(l)
 		} else {

@@ -279,3 +279,90 @@ func TestLoopTrackerEventSequence(t *testing.T) {
 		}
 	}
 }
+
+// buildCallLoopProg assembles a program whose main loops n times calling a
+// helper, exercising the call/return register-arena path:
+//
+//	proc inc(x): return x + 1
+//	proc main(n): acc = 0; for i in 0..n-1 { acc = inc(acc) }; ret acc
+func buildCallLoopProg(t *testing.T) *Program {
+	t.Helper()
+	inc := &Proc{Name: "inc", NumArgs: 1, NumRegs: 2}
+	inc.Blocks = []*Block{{
+		Instr: []Instr{{Op: OpAddI, A: 1, B: 0, Imm: 1}},
+		Term:  Term{Kind: TermRet, Ret: 1},
+	}}
+	main := &Proc{Name: "main", NumArgs: 1, NumRegs: 4}
+	// r0 = n, r1 = i, r2 = acc
+	b0 := &Block{Instr: []Instr{
+		{Op: OpConst, A: 1, Imm: 0},
+		{Op: OpConst, A: 2, Imm: 0},
+	}, Term: Term{Kind: TermJump, Target: 1}}
+	b1 := &Block{Term: Term{Kind: TermBranch, Cond: CondLT, A: 1, B: 0, Target: 2, Else: 3}}
+	b2 := &Block{Instr: []Instr{{Op: OpAddI, A: 1, B: 1, Imm: 1}},
+		Term: Term{Kind: TermCall, Callee: 0, Args: []uint8{2}, Ret: 2, Next: 1}}
+	b3 := &Block{Term: Term{Kind: TermRet, Ret: 2}}
+	main.Blocks = []*Block{b0, b1, b2, b3}
+	p := &Program{Procs: []*Proc{inc, main}, Entry: 1}
+	inc.ID, main.ID = 0, 1
+	p.RenumberBlocks()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	return p
+}
+
+// TestRunSteadyStateZeroAlloc pins the hot-path guarantee the benchmark
+// suite's interp_dispatch stage measures: a warmed machine re-runs a
+// program — calls and all — without a single heap allocation. Register
+// windows come from the reused arena, frames from the reused stack, and
+// Reset keeps every buffer.
+func TestRunSteadyStateZeroAlloc(t *testing.T) {
+	p := buildCallLoopProg(t)
+	m := NewMachine(p, nil)
+	if rv, err := m.Run(64); err != nil || rv != 64 {
+		t.Fatalf("Run = %d, %v; want 64, nil", rv, err)
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		m.Reset()
+		rv, err := m.Run(64)
+		if err != nil || rv != 64 {
+			t.Fatalf("Run = %d, %v; want 64, nil", rv, err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state Run allocates %.1f objects per run, want 0", avg)
+	}
+}
+
+// TestResetClearsRunState verifies Reset returns the machine to a
+// pre-Run state: memory zeroed, output truncated, counters cleared.
+func TestResetClearsRunState(t *testing.T) {
+	p := buildProg(t)
+	m := NewMachine(p, nil)
+	if _, err := m.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if m.Instructions() == 0 || len(m.Output()) == 0 {
+		t.Fatal("first run recorded nothing")
+	}
+	firstInstrs := m.Instructions()
+	m.Reset()
+	if m.Instructions() != 0 || m.Branches() != 0 || m.Calls() != 0 || m.MemRefs() != 0 {
+		t.Fatal("Reset left counters nonzero")
+	}
+	if len(m.Output()) != 0 {
+		t.Fatal("Reset left output")
+	}
+	for _, v := range m.Mem() {
+		if v != 0 {
+			t.Fatal("Reset left memory nonzero")
+		}
+	}
+	if _, err := m.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if m.Instructions() != firstInstrs {
+		t.Fatalf("re-run counted %d instructions, want %d", m.Instructions(), firstInstrs)
+	}
+}

@@ -171,6 +171,9 @@ type correlator struct {
 	covered map[int]map[int]bool
 }
 
+// ObservedEvents implements minivm.EventMasker.
+func (c *correlator) ObservedEvents() minivm.EventMask { return minivm.EvBlock }
+
 func (c *correlator) OnBlock(b *minivm.Block) {
 	p := c.instrs
 	c.instrs += uint64(b.Weight())
@@ -213,6 +216,9 @@ func NewDetector(mk *Markers, onFire func(phase int, at uint64)) *Detector {
 	}
 	return d
 }
+
+// ObservedEvents implements minivm.EventMasker.
+func (d *Detector) ObservedEvents() minivm.EventMask { return minivm.EvBlock }
 
 // OnBlock implements minivm.Observer.
 func (d *Detector) OnBlock(b *minivm.Block) {

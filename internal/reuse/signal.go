@@ -36,6 +36,11 @@ func NewSignalCollector(blockBytes, window int) *SignalCollector {
 	return &SignalCollector{dist: NewDistances(blockBytes), window: window}
 }
 
+// ObservedEvents implements minivm.EventMasker.
+func (s *SignalCollector) ObservedEvents() minivm.EventMask {
+	return minivm.EvBlock | minivm.EvMem
+}
+
 // OnBlock implements minivm.Observer.
 func (s *SignalCollector) OnBlock(b *minivm.Block) { s.instrs += uint64(b.Weight()) }
 

@@ -1,0 +1,40 @@
+package trace
+
+import "testing"
+
+// TestMarkerRunAllocsIndependentOfEvents pins the hot-path guarantee the
+// allocation work of a marker-cut trace.Run is per-interval and per-setup,
+// never per-event: scaling the executed instruction count ~16x must leave
+// the allocation count nearly unchanged (small growth is allowed for the
+// extra intervals' arena chunks and slice doublings). Before the interval
+// arena, snapshot chunking, and the machine's register arena, allocations
+// grew linearly with events — tens of thousands per run.
+func TestMarkerRunAllocsIndependentOfEvents(t *testing.T) {
+	cfg, set := compileAndMark(t, 2_000)
+	cfg.Markers = set
+
+	run := func(reps int64) (allocs float64, instrs uint64) {
+		c := *cfg
+		c.Args = []int64{reps, c.Args[1]}
+		allocs = testing.AllocsPerRun(5, func() {
+			r, err := Run(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			instrs = r.Instructions
+		})
+		return allocs, instrs
+	}
+
+	shortAllocs, shortInstrs := run(4)
+	longAllocs, longInstrs := run(64)
+	if longInstrs < 8*shortInstrs {
+		t.Fatalf("scaling failed: %d -> %d instructions", shortInstrs, longInstrs)
+	}
+	// The long run executes ~16x the events. Per-event allocation of any
+	// kind would add tens of thousands of objects here.
+	if longAllocs > shortAllocs+128 {
+		t.Fatalf("allocations scale with events: %d instrs -> %.0f allocs, %d instrs -> %.0f allocs",
+			shortInstrs, shortAllocs, longInstrs, longAllocs)
+	}
+}

@@ -25,6 +25,10 @@ func NewFixedCutter(step uint64, cut func(at uint64)) *FixedCutter {
 	return &FixedCutter{cut: cut, next: step, step: step}
 }
 
+// ObservedEvents implements minivm.EventMasker: only block executions are
+// consumed, so the machine never dispatches branch/call/mem events here.
+func (f *FixedCutter) ObservedEvents() minivm.EventMask { return minivm.EvBlock }
+
 // OnBlock implements minivm.Observer.
 func (f *FixedCutter) OnBlock(b *minivm.Block) {
 	if f.instrs >= f.next {
@@ -42,6 +46,9 @@ type BBVObserver struct {
 	minivm.NopObserver
 	Acc *bbv.Accumulator
 }
+
+// ObservedEvents implements minivm.EventMasker.
+func (o BBVObserver) ObservedEvents() minivm.EventMask { return minivm.EvBlock }
 
 // OnBlock implements minivm.Observer.
 func (o BBVObserver) OnBlock(b *minivm.Block) { o.Acc.Touch(b.ID, b.Weight()) }

@@ -80,9 +80,35 @@ type collector struct {
 	skipBBV bool
 
 	intervals []*Interval
-	lastCut   uint64
-	lastPerf  uarch.Counters
-	curPhase  int
+	// arena is the current Interval allocation chunk. Interval pointers
+	// escape into the Result, so cut never reuses storage — it appends into
+	// the chunk and starts a fresh one when full, amortizing what used to
+	// be one heap allocation per interval down to one per chunk (finished
+	// chunks stay alive through the pointers into them).
+	arena    []Interval
+	lastCut  uint64
+	lastPerf uarch.Counters
+	curPhase int
+}
+
+// intervalChunk is the Interval arena granularity.
+const intervalChunk = 256
+
+// perfBlockObs folds the timing model's per-block accounting and the BBV
+// accumulator touch into a single observer call on the tracing hot path.
+type perfBlockObs struct {
+	minivm.NopObserver
+	cpu *uarch.CPU
+	acc *bbv.Accumulator
+}
+
+// ObservedEvents implements minivm.EventMasker.
+func (o *perfBlockObs) ObservedEvents() minivm.EventMask { return minivm.EvBlock }
+
+// OnBlock implements minivm.Observer.
+func (o *perfBlockObs) OnBlock(b *minivm.Block) {
+	o.cpu.OnBlock(b)
+	o.acc.Touch(b.ID, b.Weight())
 }
 
 func (c *collector) cut(phase int, at uint64) {
@@ -94,13 +120,17 @@ func (c *collector) cut(phase int, at uint64) {
 		return
 	}
 	now := c.cpu.Counters()
-	iv := &Interval{
+	if len(c.arena) == cap(c.arena) {
+		c.arena = make([]Interval, 0, intervalChunk)
+	}
+	c.arena = append(c.arena, Interval{
 		Index:   len(c.intervals),
 		Start:   c.lastCut,
 		End:     at,
 		PhaseID: c.curPhase,
 		Perf:    now.Sub(c.lastPerf),
-	}
+	})
+	iv := &c.arena[len(c.arena)-1]
 	if !c.skipBBV {
 		iv.BBV = c.acc.Snapshot()
 	}
@@ -144,9 +174,15 @@ func Run(cfg Config) (*Result, error) {
 		})
 		obs = append(obs, det)
 	}
-	obs = append(obs, cpu)
-	if !cfg.SkipBBV {
-		obs = append(obs, BBVObserver{Acc: col.acc})
+	if cfg.SkipBBV {
+		obs = append(obs, cpu)
+	} else {
+		// Fuse the timing model's block accounting with BBV collection into
+		// one dispatch, and strip EvBlock from the CPU's own registration so
+		// the machine makes two observer calls per block instead of three.
+		obs = append(obs,
+			&perfBlockObs{cpu: cpu, acc: col.acc},
+			minivm.Masked(cpu, minivm.EvBranch|minivm.EvMem))
 	}
 
 	m := minivm.NewMachine(cfg.Prog, obs)

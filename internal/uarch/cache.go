@@ -6,7 +6,10 @@
 // hit/miss counts that vary with the code and data actually executed.
 package uarch
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // CacheConfig describes one set-associative cache.
 type CacheConfig struct {
@@ -24,21 +27,38 @@ func (c CacheConfig) String() string {
 		c.SizeBytes()/1024, c.BlockBytes, c.Sets, c.Ways)
 }
 
-// Cache is a set-associative cache with true-LRU replacement. Tags are
-// kept per set in MRU-first order. It counts accesses and misses; write
-// misses allocate (write-allocate, writes otherwise modeled like reads,
-// as in the Cheetah-style simulators the paper's cache study uses).
+// Cache is a set-associative cache with true-LRU replacement. It counts
+// accesses and misses; write misses allocate (write-allocate, writes
+// otherwise modeled like reads, as in the Cheetah-style simulators the
+// paper's cache study uses).
+//
+// Tags live in one flat array, Ways entries per set in MRU-first order
+// (resident count per set in size), so a lookup touches a single
+// contiguous cache line of the host — no per-set slice headers or pointer
+// chasing. The last accessed block is memoized: by construction it is the
+// MRU line of its set, so a repeated access — the spatial-locality pattern
+// that dominates real memory streams — is a hit decided by one compare,
+// with no set scan and no reordering.
 type Cache struct {
-	cfg      CacheConfig
-	sets     [][]uint64 // MRU-first tag lists
-	accesses uint64
-	misses   uint64
+	cfg        CacheConfig
+	blockShift uint   // log2(BlockBytes)
+	setMask    uint64 // Sets - 1
+	tagShift   uint   // log2(Sets)
+	stride     int    // tags per set == cfg.Ways
+	tags       []uint64
+	size       []int32 // resident lines per set
+	accesses   uint64
+	misses     uint64
 	// active, when in (0, Ways), restricts lookups and allocation to the
 	// first `active` MRU ways per set while *retaining* the contents of
 	// the deactivated ways — state-preserving way shutdown, the
 	// reconfiguration mechanism adaptive-cache proposals assume (powered-
 	// down ways keep their tags/data and become visible again on growth).
 	active int
+	// last is the block number of the previous access; lastOK guards the
+	// first access and is dropped whenever the structure is rebuilt.
+	last   uint64
+	lastOK bool
 }
 
 // NewCache builds an empty cache. Sets must be a power of two.
@@ -52,53 +72,73 @@ func NewCache(cfg CacheConfig) *Cache {
 	if cfg.Ways <= 0 {
 		panic("uarch: ways must be positive")
 	}
-	c := &Cache{cfg: cfg, sets: make([][]uint64, cfg.Sets)}
-	for i := range c.sets {
-		c.sets[i] = make([]uint64, 0, cfg.Ways)
+	return &Cache{
+		cfg:        cfg,
+		blockShift: uint(bits.TrailingZeros(uint(cfg.BlockBytes))),
+		setMask:    uint64(cfg.Sets - 1),
+		tagShift:   uint(bits.TrailingZeros(uint(cfg.Sets))),
+		stride:     cfg.Ways,
+		tags:       make([]uint64, cfg.Sets*cfg.Ways),
+		size:       make([]int32, cfg.Sets),
 	}
-	return c
 }
 
 // Config returns the current configuration.
 func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// activeWindow reports the way count lookups are limited to.
+func (c *Cache) activeWindow() int {
+	if c.active > 0 && c.active < c.cfg.Ways {
+		return c.active
+	}
+	return c.cfg.Ways
+}
 
 // Access touches byte address addr; it returns true on a hit. Misses
 // allocate the block, evicting the LRU line of the active window if it is
 // full (deactivated ways are never searched, allocated into, or evicted).
 func (c *Cache) Access(addr uint64) bool {
 	c.accesses++
-	block := addr / uint64(c.cfg.BlockBytes)
-	si := int(block) & (c.cfg.Sets - 1)
-	tag := block / uint64(c.cfg.Sets)
-	set := c.sets[si]
-	ways := c.cfg.Ways
-	if c.active > 0 && c.active < ways {
-		ways = c.active
+	block := addr >> c.blockShift
+	if c.lastOK && block == c.last {
+		// The previous access made this block the MRU line of its set (and
+		// any active-window shrink keeps at least the MRU way), so this is
+		// a hit and the LRU order is already correct.
+		return true
 	}
-	window := set
-	if len(window) > ways {
-		window = window[:ways]
+	c.last = block
+	c.lastOK = true
+	si := int(block & c.setMask)
+	tag := block >> c.tagShift
+	base := si * c.stride
+	ways := c.activeWindow()
+	n := int(c.size[si])
+	if n > ways {
+		n = ways
 	}
+	window := c.tags[base : base+n]
 	for i, t := range window {
 		if t == tag {
 			// Move to MRU position.
-			copy(set[1:i+1], set[:i])
-			set[0] = tag
+			copy(window[1:i+1], window[:i])
+			window[0] = tag
 			return true
 		}
 	}
 	c.misses++
-	if len(set) < ways {
-		set = append(set, 0)
-		copy(set[1:], set)
-		set[0] = tag
-		c.sets[si] = set
+	if int(c.size[si]) < ways {
+		// Room in the active window: shift the residents down and insert
+		// at MRU (no parked lines can exist here — resident < window).
+		grown := c.tags[base : base+n+1]
+		copy(grown[1:], grown[:n])
+		grown[0] = tag
+		c.size[si]++
 		return false
 	}
 	// Evict the LRU line of the active window; parked lines (beyond the
 	// window) keep their positions and contents.
-	copy(set[1:ways], set[:ways-1])
-	set[0] = tag
+	copy(c.tags[base+1:base+ways], c.tags[base:base+ways-1])
+	c.tags[base] = tag
 	return false
 }
 
@@ -128,13 +168,24 @@ func (c *Cache) Resize(ways int) {
 	if ways <= 0 {
 		panic("uarch: ways must be positive")
 	}
-	c.cfg.Ways = ways
 	c.active = 0
-	for i, set := range c.sets {
-		if len(set) > ways {
-			c.sets[i] = set[:ways]
-		}
+	c.lastOK = false
+	if ways == c.stride {
+		c.cfg.Ways = ways
+		return
 	}
+	tags := make([]uint64, c.cfg.Sets*ways)
+	for si := 0; si < c.cfg.Sets; si++ {
+		keep := int(c.size[si])
+		if keep > ways {
+			keep = ways
+			c.size[si] = int32(ways)
+		}
+		copy(tags[si*ways:si*ways+keep], c.tags[si*c.stride:si*c.stride+keep])
+	}
+	c.tags = tags
+	c.stride = ways
+	c.cfg.Ways = ways
 }
 
 // SetActiveWays deactivates all but the w most-recently-used ways of each
@@ -152,12 +203,7 @@ func (c *Cache) SetActiveWays(w int) {
 }
 
 // ActiveWays reports the number of ways currently powered.
-func (c *Cache) ActiveWays() int {
-	if c.active > 0 && c.active < c.cfg.Ways {
-		return c.active
-	}
-	return c.cfg.Ways
-}
+func (c *Cache) ActiveWays() int { return c.activeWindow() }
 
 // ActiveSizeBytes reports the capacity of the powered ways.
 func (c *Cache) ActiveSizeBytes() int {
@@ -166,9 +212,8 @@ func (c *Cache) ActiveSizeBytes() int {
 
 // Flush drops all cached lines (counters are preserved).
 func (c *Cache) Flush() {
-	for i := range c.sets {
-		c.sets[i] = c.sets[i][:0]
-	}
+	clear(c.size)
+	c.lastOK = false
 }
 
 // Predictor is a table of two-bit saturating counters indexed by the

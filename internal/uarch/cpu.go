@@ -93,6 +93,13 @@ func NewCPU(cfg Config, prog *minivm.Program) *CPU {
 // Counters snapshots the current totals.
 func (c *CPU) Counters() Counters { return c.ctr }
 
+// ObservedEvents implements minivm.EventMasker: the timing model consumes
+// blocks, branch outcomes, and memory references, but not call/return
+// edges — declaring that lets the machine skip those dispatches entirely.
+func (c *CPU) ObservedEvents() minivm.EventMask {
+	return minivm.EvBlock | minivm.EvBranch | minivm.EvMem
+}
+
 // OnBlock implements minivm.Observer.
 func (c *CPU) OnBlock(b *minivm.Block) {
 	w := uint64(b.Weight())
