@@ -3,6 +3,7 @@ package main
 import (
 	"fmt"
 	"os"
+	"strings"
 
 	"phasemark/internal/hotbench"
 )
@@ -10,17 +11,35 @@ import (
 // runBench measures the shared hot-path benchmark stages
 // (internal/hotbench — the same suite CI's perf gate runs as
 // BenchmarkHotpath) and records them under label in the
-// phasemark/bench-hotpath/v1 report at outPath. An existing run with the
-// same label is replaced in place; other runs are preserved, so the file
+// phasemark/bench-hotpath/v2 report at outPath. stageFilter selects a
+// comma-separated subset of stages (empty = all); naming a stage that
+// does not exist is a usage error (exit 2), matching the -fig
+// convention. An existing run with the same label is updated stage-wise;
+// other runs and unmeasured stages are preserved, so the file
 // accumulates the before/after history of performance work. Progress and
 // per-stage results go to stderr; stdout is untouched.
-func runBench(outPath, label string) error {
+func runBench(outPath, label, stageFilter string) error {
+	var stages []hotbench.Stage
+	if stageFilter != "" {
+		var names []string
+		for _, n := range strings.Split(stageFilter, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+		var err error
+		stages, err = hotbench.StagesNamed(names)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spexp: %v\n", err)
+			os.Exit(2)
+		}
+	}
 	rep, err := hotbench.LoadReport(outPath)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "benchmarking hot-path stages (label %q):\n", label)
-	run, err := hotbench.Measure(label, os.Stderr)
+	run, err := hotbench.Measure(label, stages, os.Stderr)
 	if err != nil {
 		return err
 	}

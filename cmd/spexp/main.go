@@ -14,6 +14,7 @@
 //
 //	spexp -bench                         # hot-path stage benchmarks -> BENCH_hotpath.json
 //	spexp -bench -bench-label optimized  # record this measurement under a label
+//	spexp -bench -bench-stages project,cluster  # measure only the named stages
 //
 //	spexp -fig all -metrics out.json        # + metrics snapshot & BENCH_obs.json
 //	spexp -fig 7 -trace-out trace.json      # + Chrome trace (chrome://tracing)
@@ -59,8 +60,9 @@ func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 3,4,5,7,8,9,10,11,12,crossbinary,speed,scales,all")
 	checkRun := flag.Bool("check", false, "run the correctness harness instead of figures: differential backend oracle, segmentation/clustering invariants, detector/instrumentation equivalence over every workload (exit 1 on any violation)")
 	benchRun := flag.Bool("bench", false, "benchmark the hot-path stages (internal/hotbench) instead of generating figures, recording ns/op, allocs/op and throughput per stage")
-	benchOut := flag.String("bench-out", "BENCH_hotpath.json", "with -bench: write/merge the phasemark/bench-hotpath/v1 report here")
-	benchLabel := flag.String("bench-label", "local", "with -bench: label for this measurement run (an existing run with the same label is replaced)")
+	benchOut := flag.String("bench-out", "BENCH_hotpath.json", "with -bench: write/merge the phasemark/bench-hotpath/v2 report here")
+	benchLabel := flag.String("bench-label", "local", "with -bench: label for this measurement run (an existing run with the same label is updated stage-wise)")
+	benchStages := flag.String("bench-stages", "", "with -bench: comma-separated stage subset to measure (default all; unknown names exit 2)")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "workloads to evaluate in parallel")
 	metricsOut := flag.String("metrics", "", "write a metrics snapshot (counters, histograms, per-stage durations) to this JSON file, plus BENCH_obs.json with per-stage totals")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON file of every pipeline stage span")
@@ -80,7 +82,7 @@ func main() {
 	}
 
 	if *benchRun {
-		if err := runBench(*benchOut, *benchLabel); err != nil {
+		if err := runBench(*benchOut, *benchLabel, *benchStages); err != nil {
 			fmt.Fprintf(os.Stderr, "spexp: %v\n", err)
 			os.Exit(1)
 		}

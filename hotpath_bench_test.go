@@ -6,8 +6,9 @@ import (
 	"phasemark/internal/hotbench"
 )
 
-// BenchmarkHotpath runs the shared execute/observe hot-path stages
-// (internal/hotbench) as sub-benchmarks. CI's bench-regression job runs
+// BenchmarkHotpath runs the shared hot-path stages (internal/hotbench) —
+// execute/observe plus the project/cluster analysis stages — as
+// sub-benchmarks. CI's bench-regression job runs
 // exactly this suite (`-bench '^BenchmarkHotpath$'`) on the PR head and
 // its merge base and fails on statistically significant slowdowns; `spexp
 // -bench` snapshots the same stages into BENCH_hotpath.json.

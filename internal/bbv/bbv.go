@@ -74,12 +74,24 @@ func ManhattanNormed(a, b Vector) float64 {
 
 // Project reduces the normalized vector to p.Out dimensions.
 func (v Vector) Project(p *stats.Projection) []float64 {
-	n := v.Normalized()
-	idx := make([]int, len(n.Idx))
-	for i, x := range n.Idx {
-		idx[i] = int(x)
+	out := make([]float64, p.Out())
+	v.ProjectInto(out, p)
+	return out
+}
+
+// ProjectInto projects the normalized vector into dst (length p.Out)
+// without allocating. The projection is linear, so instead of
+// materializing a normalized copy it projects the raw values and scales
+// the p.Out outputs by 1/L1 — replacing a per-entry division and an
+// index-widening copy with p.Out multiplications.
+func (v Vector) ProjectInto(dst []float64, p *stats.Projection) {
+	p.ApplySparse32Into(dst, v.Idx, v.Val)
+	if s := v.L1(); s != 0 {
+		inv := 1 / s
+		for o := range dst {
+			dst[o] *= inv
+		}
 	}
-	return p.ApplySparse(idx, n.Val)
 }
 
 // Accumulator gathers block executions for the current interval using a

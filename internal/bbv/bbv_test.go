@@ -116,3 +116,41 @@ func TestProjectMatchesDense(t *testing.T) {
 		}
 	}
 }
+
+func TestProjectIntoMatchesProject(t *testing.T) {
+	p := stats.NewProjection(16, 3, 9)
+	v := vec(2, 4, 9, 12)
+	want := v.Project(p)
+	got := make([]float64, p.Out())
+	v.ProjectInto(got, p)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ProjectInto differs at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+	// Zero vector: no normalization, projection of zeros is zeros.
+	zero := Vector{}
+	out := []float64{1, 2, 3}
+	zero.ProjectInto(out, p)
+	for i, x := range out {
+		if x != 0 {
+			t.Fatalf("zero-vector projection[%d] = %v", i, x)
+		}
+	}
+}
+
+// Regression: Project must not re-allocate per-entry scratch (it used to
+// widen Idx into a fresh []int and build a normalized copy on every
+// call). One allocation remains — the returned vector — and ProjectInto
+// has none.
+func TestProjectAllocs(t *testing.T) {
+	p := stats.NewProjection(256, 15, 4)
+	v := vec(3, 10, 40, 2, 100, 7, 200, 1)
+	if allocs := testing.AllocsPerRun(100, func() { v.Project(p) }); allocs > 1 {
+		t.Fatalf("Project allocates %v times per call, want <= 1", allocs)
+	}
+	dst := make([]float64, p.Out())
+	if allocs := testing.AllocsPerRun(100, func() { v.ProjectInto(dst, p) }); allocs != 0 {
+		t.Fatalf("ProjectInto allocates %v times per call, want 0", allocs)
+	}
+}

@@ -70,11 +70,11 @@ func (s *Suite) fig10One(w *workloads.Workload) (*fig10Eval, error) {
 	if err != nil {
 		return nil, err
 	}
-	pts := make([][]float64, len(resFixed.BBVs))
-	wts := make([]float64, len(resFixed.BBVs))
 	proj := newProjection(resFixed.NumBlocks)
+	pts := simpoint.NewMatrix(len(resFixed.BBVs), proj.Out())
+	wts := make([]float64, len(resFixed.BBVs))
 	for i, v := range resFixed.BBVs {
-		pts[i] = v.Project(proj)
+		v.ProjectInto(pts.Row(i), proj)
 		wts[i] = float64(resFixed.Intervals[i].Instrs)
 	}
 	cl := simpoint.Cluster(pts, wts, simpoint.Options{KMax: 10, Seed: 0x10})

@@ -1,10 +1,10 @@
 package experiments
 
 import (
-	"sync"
 	"time"
 
 	"phasemark/internal/obs"
+	"phasemark/internal/par"
 	"phasemark/internal/workloads"
 )
 
@@ -20,10 +20,18 @@ var (
 	obsPoolExec      = obs.NewHist("pool.exec_ns")
 )
 
+// poolObs adapts the shared worker-pool primitive's telemetry hooks to
+// the suite's metric registry.
+var poolObs = &par.Obs{
+	QueueWait: func(d time.Duration) { obsPoolQueueWait.Observe(uint64(d)) },
+	Exec:      func(d time.Duration) { obsPoolExec.Observe(uint64(d)) },
+}
+
 // ForEachWorkload evaluates fn for every workload of ws on up to
-// Parallelism() workers. fn receives the workload's index in ws so callers
-// can write results into an index-addressed slice and assemble table rows
-// in the original (deterministic) order afterwards.
+// Parallelism() workers (par.ForEach does the scheduling). fn receives
+// the workload's index in ws so callers can write results into an
+// index-addressed slice and assemble table rows in the original
+// (deterministic) order afterwards.
 //
 // All workloads are evaluated even if one fails; the returned error is the
 // one from the lowest-indexed failing workload, so the outcome does not
@@ -36,43 +44,10 @@ func (s *Suite) ForEachWorkload(ws []*workloads.Workload, fn func(i int, w *work
 	obsPoolBatches.Inc()
 	obsPoolItems.Add(uint64(len(ws)))
 	obsPoolWorkers.Set(int64(jobs))
-	if jobs <= 1 {
-		var first error
-		for i, w := range ws {
-			t0 := time.Now()
-			err := fn(i, w)
-			obsPoolExec.Observe(uint64(time.Since(t0)))
-			if err != nil && first == nil {
-				first = err
-			}
-		}
-		return first
-	}
-
-	type item struct {
-		i  int
-		at time.Time // when the dispatcher offered the item
-	}
 	errs := make([]error, len(ws))
-	idx := make(chan item)
-	var wg sync.WaitGroup
-	for range jobs {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for it := range idx {
-				start := time.Now()
-				obsPoolQueueWait.Observe(uint64(start.Sub(it.at)))
-				errs[it.i] = fn(it.i, ws[it.i])
-				obsPoolExec.Observe(uint64(time.Since(start)))
-			}
-		}()
-	}
-	for i := range ws {
-		idx <- item{i: i, at: time.Now()}
-	}
-	close(idx)
-	wg.Wait()
+	par.ForEach(len(ws), jobs, poolObs, func(worker, i int) {
+		errs[i] = fn(i, ws[i])
+	})
 	for _, err := range errs {
 		if err != nil {
 			return err

@@ -11,8 +11,12 @@
 package hotbench
 
 import (
+	"fmt"
+	"strings"
+
 	"phasemark/internal/core"
 	"phasemark/internal/minivm"
+	"phasemark/internal/simpoint"
 	"phasemark/internal/trace"
 	"phasemark/internal/uarch"
 	"phasemark/internal/workloads"
@@ -23,7 +27,7 @@ import (
 // returned run function executes one operation and reports the work units
 // it processed (dynamic instructions, or memory events for cpu_onmem).
 type Stage struct {
-	Name string // stable key in the phasemark/bench-hotpath/v1 schema
+	Name string // stable key in the phasemark/bench-hotpath/v2 schema
 	Desc string
 	Unit string // throughput metric name: "Minstr/s" or "Mevents/s"
 	New  func() (func() (uint64, error), error)
@@ -38,6 +42,16 @@ const fixedLen = 100_000
 
 // onMemEvents is the synthetic memory-event count per cpu_onmem op.
 const onMemEvents = 1 << 20
+
+// Analysis-stage fixture: gzip's train input traced at fine-grained fixed
+// intervals, so the project and cluster stages see a realistic interval
+// population (hundreds of BBVs) at the paper's KMax=30 operating point.
+const (
+	analysisFixedLen = 10_000
+	analysisKMax     = 30
+	analysisDims     = 15
+	analysisSeed     = 0xC1
+)
 
 // Stages returns the hot-path stages in reporting order.
 func Stages() []Stage {
@@ -78,7 +92,101 @@ func Stages() []Stage {
 			Unit: "Minstr/s",
 			New:  newPipelineE2E,
 		},
+		{
+			Name: "project",
+			Desc: "BBV random projection: gzip train at 10k fixed intervals, every interval BBV projected to 15 dims",
+			Unit: "Mmacs/s",
+			New:  newProject,
+		},
+		{
+			Name: "cluster",
+			Desc: "SimPoint clustering: gzip train at 10k fixed intervals, weighted k-means over k=1..30 with BIC model selection",
+			Unit: "Mdist/s",
+			New:  newCluster,
+		},
 	}
+}
+
+// StagesNamed resolves a list of stage names (in suite order) or reports
+// the unknown ones alongside the valid set, mirroring the CLI convention
+// for unknown figure names.
+func StagesNamed(names []string) ([]Stage, error) {
+	all := Stages()
+	known := make(map[string]Stage, len(all))
+	order := make([]string, 0, len(all))
+	for _, st := range all {
+		known[st.Name] = st
+		order = append(order, st.Name)
+	}
+	want := make(map[string]bool, len(names))
+	var unknown []string
+	for _, n := range names {
+		if _, ok := known[n]; !ok {
+			unknown = append(unknown, fmt.Sprintf("%q", n))
+			continue
+		}
+		want[n] = true
+	}
+	if len(unknown) > 0 {
+		return nil, fmt.Errorf("unknown stage %s (known: %s)",
+			strings.Join(unknown, ", "), strings.Join(order, ", "))
+	}
+	var out []Stage
+	for _, st := range all {
+		if want[st.Name] {
+			out = append(out, st)
+		}
+	}
+	return out, nil
+}
+
+// analysisFixture traces the deterministic interval population the
+// analysis stages (project, cluster) run over.
+func analysisFixture() (*trace.Result, error) {
+	prog, w, err := compiled("gzip", false)
+	if err != nil {
+		return nil, err
+	}
+	return trace.Run(trace.Config{Prog: prog, Args: w.Train, CPU: uarch.DefaultConfig(), FixedLen: analysisFixedLen})
+}
+
+func newProject() (func() (uint64, error), error) {
+	res, err := analysisFixture()
+	if err != nil {
+		return nil, err
+	}
+	// Work unit: one multiply-accumulate, i.e. one nonzero BBV entry times
+	// one output dimension — the fixture's exact projection flop count.
+	var macs uint64
+	for _, iv := range res.Intervals {
+		macs += uint64(len(iv.BBV.Idx)) * analysisDims
+	}
+	return func() (uint64, error) {
+		pts, _ := simpoint.ProjectIntervals(res.Intervals, res.NumBlocks, analysisDims, analysisSeed)
+		_ = pts
+		return macs, nil
+	}, nil
+}
+
+func newCluster() (func() (uint64, error), error) {
+	res, err := analysisFixture()
+	if err != nil {
+		return nil, err
+	}
+	pts, weights := simpoint.ProjectIntervals(res.Intervals, res.NumBlocks, analysisDims, analysisSeed)
+	opts := simpoint.Options{KMax: analysisKMax, Dims: analysisDims, Seed: analysisSeed}
+	// Work unit: one point-to-center distance evaluation of a single naive
+	// Lloyd's assignment pass, summed over every (k, restart) run — an
+	// engine-independent measure of the fixture's clustering load.
+	n := uint64(len(res.Intervals))
+	work := n * 3 * uint64(analysisKMax) * uint64(analysisKMax+1) / 2
+	return func() (uint64, error) {
+		cl := simpoint.Cluster(pts, weights, opts)
+		if cl.K < 1 {
+			return 0, fmt.Errorf("cluster stage: degenerate clustering (K=%d)", cl.K)
+		}
+		return work, nil
+	}, nil
 }
 
 func compiled(name string, opt bool) (*minivm.Program, *workloads.Workload, error) {

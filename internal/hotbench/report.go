@@ -11,8 +11,13 @@ import (
 
 // Schema identifies the BENCH_hotpath.json record layout. See
 // EXPERIMENTS.md for the field-by-field description (documented next to
-// phasemark/bench-obs/v1).
-const Schema = "phasemark/bench-hotpath/v1"
+// phasemark/bench-obs/v1). v2 extends v1 with the analysis stages
+// (project, cluster); the record layout itself is unchanged, so v1 files
+// load and are upgraded in place on the next write.
+const Schema = "phasemark/bench-hotpath/v2"
+
+// schemaV1 is the pre-analysis-stage layout v2 supersedes.
+const schemaV1 = "phasemark/bench-hotpath/v1"
 
 // Report is the committed hot-path performance record: one run per
 // labelled measurement (e.g. the seed implementation vs. the optimized
@@ -81,11 +86,14 @@ func MeasureStage(st Stage) (StageResult, error) {
 	return sr, nil
 }
 
-// Measure benchmarks every stage and returns them as one labelled run,
-// reporting progress on w (one line per stage).
-func Measure(label string, w io.Writer) (Run, error) {
+// Measure benchmarks the given stages (every stage when nil) and returns
+// them as one labelled run, reporting progress on w (one line per stage).
+func Measure(label string, stages []Stage, w io.Writer) (Run, error) {
+	if stages == nil {
+		stages = Stages()
+	}
 	run := Run{Label: label, Go: runtime.Version()}
-	for _, st := range Stages() {
+	for _, st := range stages {
 		sr, err := MeasureStage(st)
 		if err != nil {
 			return Run{}, err
@@ -112,21 +120,40 @@ func LoadReport(path string) (*Report, error) {
 	if err := json.Unmarshal(data, &r); err != nil {
 		return nil, fmt.Errorf("hotbench: parsing %s: %w", path, err)
 	}
+	if r.Schema == schemaV1 {
+		r.Schema = Schema // v1 runs are a subset of v2; upgrade in place
+	}
 	if r.Schema != Schema {
 		return nil, fmt.Errorf("hotbench: %s has schema %q, want %q", path, r.Schema, Schema)
 	}
 	return &r, nil
 }
 
-// SetRun inserts run into the report, replacing an existing run with the
-// same label and appending otherwise (so re-measuring a label updates it
-// in place and the run history keeps its order).
+// SetRun merges run into the report. A new label appends; an existing
+// label is updated stage-wise — stages present in run replace their
+// namesakes, stages absent from run (e.g. when `-bench-stages` measured a
+// subset) are preserved — so re-measuring never discards history.
 func (r *Report) SetRun(run Run) {
 	for i := range r.Runs {
-		if r.Runs[i].Label == run.Label {
-			r.Runs[i] = run
-			return
+		if r.Runs[i].Label != run.Label {
+			continue
 		}
+		old := &r.Runs[i]
+		old.Go = run.Go
+		for _, sr := range run.Stages {
+			replaced := false
+			for j := range old.Stages {
+				if old.Stages[j].Name == sr.Name {
+					old.Stages[j] = sr
+					replaced = true
+					break
+				}
+			}
+			if !replaced {
+				old.Stages = append(old.Stages, sr)
+			}
+		}
+		return
 	}
 	r.Runs = append(r.Runs, run)
 }

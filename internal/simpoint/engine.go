@@ -1,0 +1,169 @@
+package simpoint
+
+import "math"
+
+// Hamerly-style triangle-inequality acceleration for the Lloyd assignment
+// pass ("Making k-means even faster", Hamerly 2010). Per point the engine
+// keeps an upper bound on the distance to its assigned center and a lower
+// bound on the distance to every other center; per center, half the
+// distance to its nearest sibling (s(c)). A point whose upper bound is
+// below max(s(assigned), lower) cannot change assignment, so the full
+// k-center scan is skipped. After every centroid update the bounds are
+// shifted by how far the centers moved.
+//
+// The bounds exist only to SKIP work — every distance that decides an
+// assignment is still computed exactly as the naive full scan computes
+// it, in the same comparison order. To keep skip decisions consistent
+// with the naive oracle's computed arithmetic, every bound is padded
+// multiplicatively by padRel (plus one ulp via Nextafter): upper bounds
+// round up, lower bounds round down. padRel is ~5.7e-14, an order of
+// magnitude above the worst-case relative drift of a 15-dimensional
+// squared distance plus a square root (~2e-15), so a strict bound
+// comparison that triggers a skip implies the same strict ordering of the
+// computed squared distances — no center is strictly closer, which under
+// the sticky assignment rule is exactly "keep the current cluster", the
+// same thing the naive scan would decide.
+const padRel = 1.0 / (1 << 44)
+
+// boundUp conservatively rounds a computed distance up.
+func boundUp(x float64) float64 {
+	return math.Nextafter(x*(1+padRel), math.Inf(1))
+}
+
+// boundDown conservatively rounds a computed distance down.
+func boundDown(x float64) float64 {
+	return math.Nextafter(x*(1-padRel), math.Inf(-1))
+}
+
+// initBounds seeds the bound arrays right after k-means++ seeding, when
+// minD holds each point's squared distance to its nearest (= assigned)
+// center. Nothing is known about the second-closest center yet, so the
+// lower bound starts at zero.
+func (s *runScratch) initBounds() {
+	for i := range s.upper {
+		s.upper[i] = boundUp(math.Sqrt(s.minD[i]))
+		s.lower[i] = 0
+	}
+}
+
+// snapshotCenters saves the centroids before an update so applyMoves can
+// measure how far each one traveled.
+func (s *runScratch) snapshotCenters() {
+	copy(s.prev.Data[:s.k*s.prev.D], s.centers.Data[:s.k*s.centers.D])
+}
+
+// invalidateBounds resets the bounds to "know nothing" after an update
+// that reseeded empty clusters (centroids teleported, so move distances
+// do not bound the change). halfSep is zeroed as well — it describes the
+// pre-teleport geometry — so the next assignment pass degenerates to
+// full scans, which re-tighten every bound.
+func (s *runScratch) invalidateBounds() {
+	for i := range s.upper {
+		s.upper[i] = math.Inf(1)
+		s.lower[i] = 0
+	}
+	for c := 0; c < s.k; c++ {
+		s.halfSep[c] = 0
+	}
+}
+
+// applyMoves shifts the per-point bounds by the centroid movement of the
+// last update: the upper bound grows by the assigned center's move; the
+// lower bound shrinks by the largest move any *other* center made — the
+// second-largest move when the assigned center is the one that moved
+// most. It also refreshes s(c), each center's half-distance to its
+// nearest sibling.
+func (s *runScratch) applyMoves() {
+	k := s.k
+	maxMove, secMove, argMax := 0.0, 0.0, -1
+	for c := 0; c < k; c++ {
+		m := boundUp(math.Sqrt(sqDist(s.prev.Row(c), s.centers.Row(c))))
+		s.moves[c] = m
+		if m > maxMove {
+			secMove = maxMove
+			maxMove, argMax = m, c
+		} else if m > secMove {
+			secMove = m
+		}
+	}
+	for c := 0; c < k; c++ {
+		sep := math.Inf(1)
+		for o := 0; o < k; o++ {
+			if o == c {
+				continue
+			}
+			if q := sqDist(s.centers.Row(c), s.centers.Row(o)); q < sep {
+				sep = q
+			}
+		}
+		if math.IsInf(sep, 1) { // k == 1: no sibling, nothing can steal a point
+			s.halfSep[c] = math.Inf(1)
+			continue
+		}
+		s.halfSep[c] = boundDown(0.5 * math.Sqrt(sep))
+	}
+	for i := range s.upper {
+		a := s.assign[i]
+		s.upper[i] = boundUp(s.upper[i] + s.moves[a])
+		shrink := maxMove
+		if a == argMax {
+			shrink = secMove
+		}
+		l := boundDown(s.lower[i] - shrink)
+		if l < 0 {
+			l = 0
+		}
+		s.lower[i] = l
+	}
+}
+
+// assignBounded is the accelerated assignment pass. It skips the
+// k-center scan for every point whose (possibly tightened) upper bound
+// proves no other center can be strictly closer; all remaining points
+// take the exact full scan the naive pass would run, tracking the best
+// and second-best squared distances to re-tighten both bounds.
+func (s *runScratch) assignBounded(pts Matrix) (changed bool) {
+	n, k := pts.N, s.k
+	for i := 0; i < n; i++ {
+		a := s.assign[i]
+		b := s.halfSep[a]
+		if s.lower[i] > b {
+			b = s.lower[i]
+		}
+		if s.upper[i] < b {
+			continue // no other center can be strictly closer
+		}
+		p := pts.Row(i)
+		// Tighten the upper bound to the exact current distance and retest
+		// before paying for the full scan.
+		da := sqDist(p, s.centers.Row(a))
+		u := boundUp(math.Sqrt(da))
+		s.upper[i] = u
+		if u < b {
+			continue
+		}
+		// The scan mirrors assignNaive exactly (sticky assignment, strict-<
+		// improvement), additionally tracking the second-best distance to
+		// re-tighten the lower bound.
+		best, bestD, secD := a, da, math.Inf(1)
+		for c := 0; c < k; c++ {
+			if c == a {
+				continue
+			}
+			q := sqDist(p, s.centers.Row(c))
+			if q < bestD {
+				secD = bestD
+				best, bestD = c, q
+			} else if q < secD {
+				secD = q
+			}
+		}
+		if best != a {
+			s.assign[i] = best
+			changed = true
+		}
+		s.upper[i] = boundUp(math.Sqrt(bestD))
+		s.lower[i] = boundDown(math.Sqrt(secD))
+	}
+	return changed
+}

@@ -1,0 +1,197 @@
+package simpoint
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"phasemark/internal/stats"
+)
+
+// fixtures returns clustering inputs that exercise the engine's edge
+// cases: well-separated blobs, heavy exact duplication (the k-means++
+// duplicate-seed fallback and empty-cluster reseeding), zero weights
+// (zero-mass clusters among distinct points), and skewed weights.
+func fixtures() []struct {
+	name    string
+	pts     Matrix
+	weights []float64
+} {
+	r := stats.NewRNG(0xfeed)
+	var out []struct {
+		name    string
+		pts     Matrix
+		weights []float64
+	}
+	add := func(name string, pts Matrix, weights []float64) {
+		out = append(out, struct {
+			name    string
+			pts     Matrix
+			weights []float64
+		}{name, pts, weights})
+	}
+
+	blob, _ := blobs([][]float64{{0, 0, 0}, {8, 0, 4}, {0, 9, -3}, {5, 5, 5}}, 40, 0.6, 0xb10b)
+	add("blobs", blob, nil)
+
+	// Every point duplicated several times: exact ties everywhere.
+	dup := NewMatrix(60, 2)
+	for i := 0; i < dup.N; i++ {
+		row := dup.Row(i)
+		row[0] = float64((i / 12) * 7)
+		row[1] = float64((i / 12) % 3)
+	}
+	add("duplicates", dup, nil)
+
+	// Random points where a third of the weights are zero.
+	zw := NewMatrix(50, 4)
+	weights := make([]float64, zw.N)
+	for i := range zw.Data {
+		zw.Data[i] = r.NormFloat64() * 3
+	}
+	for i := range weights {
+		if i%3 == 0 {
+			weights[i] = 0
+		} else {
+			weights[i] = r.Float64() + 0.1
+		}
+	}
+	add("zero-weights", zw, weights)
+
+	// Heavily skewed weights (VLI-style interval masses).
+	sk := NewMatrix(45, 3)
+	skw := make([]float64, sk.N)
+	for i := range sk.Data {
+		sk.Data[i] = r.NormFloat64()
+	}
+	for i := range skw {
+		skw[i] = math.Exp(6 * r.Float64())
+	}
+	add("skewed-weights", sk, skw)
+	return out
+}
+
+// TestBoundedMatchesNaiveOracle drives the Hamerly-accelerated Lloyd
+// loop and the naive full-scan oracle through identical (fixture, k,
+// seed) runs and requires bit-identical assignments and centroids, the
+// same iteration count, and SSE agreement: the bounds may only skip
+// work, never change a decision.
+func TestBoundedMatchesNaiveOracle(t *testing.T) {
+	for _, fx := range fixtures() {
+		weights := fx.weights
+		if weights == nil {
+			weights = make([]float64, fx.pts.N)
+			for i := range weights {
+				weights[i] = 1
+			}
+		}
+		for k := 1; k <= 8; k++ {
+			for seed := uint64(0); seed < 10; seed++ {
+				naive := newRunScratch(fx.pts.N, fx.pts.D, k)
+				fast := newRunScratch(fx.pts.N, fx.pts.D, k)
+				itN := naive.lloyd(fx.pts, weights, k, stats.NewRNG(seed), 60, false)
+				itF := fast.lloyd(fx.pts, weights, k, stats.NewRNG(seed), 60, true)
+				label := fmt.Sprintf("%s/k=%d/seed=%d", fx.name, k, seed)
+				if itN != itF {
+					t.Fatalf("%s: naive took %d iters, bounded %d", label, itN, itF)
+				}
+				if !reflect.DeepEqual(naive.assign, fast.assign) {
+					t.Fatalf("%s: assignments differ", label)
+				}
+				nd := naive.centers.Data[:k*fx.pts.D]
+				fd := fast.centers.Data[:k*fx.pts.D]
+				for i := range nd {
+					if nd[i] != fd[i] {
+						t.Fatalf("%s: centroid coordinate %d differs: %v vs %v", label, i, nd[i], fd[i])
+					}
+				}
+				sN, sF := naive.sse(fx.pts, weights), fast.sse(fx.pts, weights)
+				if diff := math.Abs(sN - sF); diff > 1e-12*(1+math.Abs(sN)) {
+					t.Fatalf("%s: SSE differs by %g (%v vs %v)", label, diff, sN, sF)
+				}
+			}
+		}
+	}
+}
+
+// TestKMeansOnceMatchesClusterRun pins the public pipeline to the
+// oracle: for a forced k, Cluster's best-restart result must be
+// reproducible by feeding kmeansOnce the same derived per-run seeds.
+func TestKMeansOnceMatchesClusterRun(t *testing.T) {
+	pts, _ := blobs([][]float64{{0, 0}, {6, 1}, {3, 7}}, 25, 0.5, 0xabc)
+	const k, seedBase = 3, uint64(99)
+	opts := Options{ForceK: k, Seed: seedBase, Workers: 1}
+	cl := Cluster(pts, nil, opts)
+
+	weights := make([]float64, pts.N)
+	for i := range weights {
+		weights[i] = 1
+	}
+	bestSSE := math.Inf(1)
+	var bestAssign []int
+	for rs := 0; rs < opts.restarts(); rs++ {
+		rng := stats.NewRNG(stats.DeriveSeed(seedBase^seedSalt, uint64(k), uint64(rs)))
+		assign, _, sse, _ := kmeansOnce(pts, weights, k, rng, opts.maxIters())
+		if sse < bestSSE {
+			bestSSE = sse
+			bestAssign = assign
+		}
+	}
+	if !reflect.DeepEqual(cl.Assign, bestAssign) {
+		t.Fatal("Cluster's best restart differs from the kmeansOnce oracle replay")
+	}
+}
+
+// TestClusterByteIdenticalAcrossWorkers requires the full model-selection
+// pipeline to return identical results no matter how many workers the
+// (k, restart) runs fan out over.
+func TestClusterByteIdenticalAcrossWorkers(t *testing.T) {
+	for _, fx := range fixtures() {
+		opts := Options{KMax: 8, Seed: 0x5eed}
+		var ref *Clustering
+		for _, workers := range []int{1, 4, runtime.NumCPU()} {
+			opts.Workers = workers
+			cl := Cluster(fx.pts, fx.weights, opts)
+			if ref == nil {
+				ref = cl
+				continue
+			}
+			if cl.K != ref.K || cl.BIC != ref.BIC {
+				t.Fatalf("%s: workers=%d chose k=%d BIC=%v, workers=1 chose k=%d BIC=%v",
+					fx.name, workers, cl.K, cl.BIC, ref.K, ref.BIC)
+			}
+			if !reflect.DeepEqual(cl.Assign, ref.Assign) {
+				t.Fatalf("%s: workers=%d assignment differs from workers=1", fx.name, workers)
+			}
+			if !reflect.DeepEqual(cl.Centers, ref.Centers) {
+				t.Fatalf("%s: workers=%d centroids differ from workers=1", fx.name, workers)
+			}
+			if !reflect.DeepEqual(cl.Weights, ref.Weights) {
+				t.Fatalf("%s: workers=%d cluster weights differ from workers=1", fx.name, workers)
+			}
+		}
+	}
+}
+
+// TestClusterSteadyStateAllocs verifies the per-run scratch actually
+// eliminates steady-state allocations: a forced-k re-cluster on one
+// worker allocates only the per-run result copies (assign + centers) and
+// the fixed bookkeeping, independent of iteration count.
+func TestClusterSteadyStateAllocs(t *testing.T) {
+	pts, _ := blobs([][]float64{{0, 0, 0}, {9, 9, 9}}, 50, 0.4, 0x11)
+	weights := make([]float64, pts.N)
+	for i := range weights {
+		weights[i] = 1
+	}
+	s := newRunScratch(pts.N, pts.D, 4)
+	allocs := testing.AllocsPerRun(20, func() {
+		s.lloyd(pts, weights, 4, stats.NewRNG(7), 60, true)
+	})
+	// The lloyd loop itself must be allocation-free; the RNG wrapper is
+	// the one permitted allocation per run.
+	if allocs > 1 {
+		t.Fatalf("lloyd allocates %v times per run, want <= 1", allocs)
+	}
+}

@@ -28,10 +28,10 @@ func TestKMeansReseedsEmptyClustersAtDistinctPoints(t *testing.T) {
 	// Two distinct locations, three copies each; k=4 forces at least two
 	// duplicate seeds, and before the fix the two resulting empty clusters
 	// never recovered.
-	points := [][]float64{
+	points := MatrixFromRows([][]float64{
 		{0, 0}, {0, 0}, {0, 0},
 		{10, 10}, {10, 10}, {10, 10},
-	}
+	})
 	weights := []float64{1, 1, 1, 1, 1, 1}
 	for seed := uint64(0); seed < 50; seed++ {
 		assign, _, _, _ := kmeansOnce(points, weights, 4, stats.NewRNG(seed), 40)
@@ -53,14 +53,14 @@ func TestKMeansReseedsEmptyClustersAtDistinctPoints(t *testing.T) {
 // Zero weights make the trigger deterministic — every cluster that holds
 // only zero-weight points has zero mass and enters the re-seed path.
 func TestKMeansZeroMassClustersGetDistinctCentroids(t *testing.T) {
-	points := [][]float64{{0}, {10}, {20}, {30}, {40}}
+	points := MatrixFromRows([][]float64{{0}, {10}, {20}, {30}, {40}})
 	weights := []float64{1, 0, 0, 0, 0}
 	for seed := uint64(0); seed < 50; seed++ {
 		_, centers, _, _ := kmeansOnce(points, weights, 3, stats.NewRNG(seed), 40)
-		for i := range centers {
-			for j := i + 1; j < len(centers); j++ {
-				if centersEqual(centers[i], centers[j]) {
-					t.Fatalf("seed %d: duplicate centroids %d and %d at %v", seed, i, j, centers[i])
+		for i := 0; i < centers.N; i++ {
+			for j := i + 1; j < centers.N; j++ {
+				if centersEqual(centers.Row(i), centers.Row(j)) {
+					t.Fatalf("seed %d: duplicate centroids %d and %d at %v", seed, i, j, centers.Row(i))
 				}
 			}
 		}

@@ -1,0 +1,35 @@
+package simpoint
+
+// Matrix is a dense row-major point matrix: N rows (points or centroids)
+// of D columns each, in one contiguous allocation. The clustering engine
+// works on this layout so distance kernels stream through memory and
+// per-run scratch can be reused without per-row allocations.
+type Matrix struct {
+	N, D int
+	Data []float64 // row-major, len N*D
+}
+
+// NewMatrix returns a zeroed n-by-d matrix.
+func NewMatrix(n, d int) Matrix {
+	return Matrix{N: n, D: d, Data: make([]float64, n*d)}
+}
+
+// Row returns row i, aliasing the matrix storage. The slice is
+// capacity-clipped so an append can never clobber the next row.
+func (m Matrix) Row(i int) []float64 {
+	return m.Data[i*m.D : (i+1)*m.D : (i+1)*m.D]
+}
+
+// MatrixFromRows copies a slice-of-rows into a Matrix (all rows must
+// share the first row's length). Convenience for tests and callers that
+// assemble points incrementally.
+func MatrixFromRows(rows [][]float64) Matrix {
+	if len(rows) == 0 {
+		return Matrix{}
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		copy(m.Row(i), r)
+	}
+	return m
+}

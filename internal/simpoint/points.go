@@ -19,16 +19,16 @@ type Point struct {
 // PickPoints selects, for each cluster, the interval closest to the
 // centroid (ties to the earlier interval, favoring early simulation
 // points as in [22]).
-func PickPoints(c *Clustering, points [][]float64) []Point {
+func PickPoints(c *Clustering, points Matrix) []Point {
 	best := make([]int, c.K)
 	bestD := make([]float64, c.K)
 	for i := range best {
 		best[i] = -1
 		bestD[i] = math.Inf(1)
 	}
-	for i, p := range points {
+	for i := 0; i < points.N; i++ {
 		cl := c.Assign[i]
-		if d := sqDist(p, c.Centers[cl]); d < bestD[cl] {
+		if d := sqDist(points.Row(i), c.Centers.Row(cl)); d < bestD[cl] {
 			best[cl], bestD[cl] = i, d
 		}
 	}
@@ -101,13 +101,14 @@ func Evaluate(pts []Point, ivs []*trace.Interval, trueCPI float64, k int) Estima
 }
 
 // ProjectIntervals projects interval BBVs to dims dimensions and returns
-// the point matrix plus per-point instruction weights.
-func ProjectIntervals(ivs []*trace.Interval, numBlocks, dims int, seed uint64) (pts [][]float64, weights []float64) {
+// the point matrix plus per-point instruction weights. The matrix is one
+// contiguous allocation; each interval projects straight into its row.
+func ProjectIntervals(ivs []*trace.Interval, numBlocks, dims int, seed uint64) (pts Matrix, weights []float64) {
 	proj := stats.NewProjection(numBlocks, dims, seed)
-	pts = make([][]float64, len(ivs))
+	pts = NewMatrix(len(ivs), dims)
 	weights = make([]float64, len(ivs))
 	for i, iv := range ivs {
-		pts[i] = iv.BBV.Project(proj)
+		iv.BBV.ProjectInto(pts.Row(i), proj)
 		weights[i] = float64(iv.Len())
 	}
 	return pts, weights
@@ -125,6 +126,6 @@ func Classify(res *trace.Result, opts Options) *Clustering {
 	return c
 }
 
-// Points returns the projected points cached by Classify (nil if the
-// clustering came from Cluster directly).
-func (c *Clustering) Points() [][]float64 { return c.points }
+// Points returns the projected points cached by Classify (the zero
+// Matrix if the clustering came from Cluster directly).
+func (c *Clustering) Points() Matrix { return c.points }

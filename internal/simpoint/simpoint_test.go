@@ -11,7 +11,7 @@ import (
 )
 
 // blobs generates n points per center around the given centers.
-func blobs(centers [][]float64, n int, spread float64, seed uint64) ([][]float64, []int) {
+func blobs(centers [][]float64, n int, spread float64, seed uint64) (Matrix, []int) {
 	r := stats.NewRNG(seed)
 	var pts [][]float64
 	var labels []int
@@ -25,7 +25,7 @@ func blobs(centers [][]float64, n int, spread float64, seed uint64) ([][]float64
 			labels = append(labels, ci)
 		}
 	}
-	return pts, labels
+	return MatrixFromRows(pts), labels
 }
 
 func TestKMeansRecoversWellSeparatedClusters(t *testing.T) {
@@ -51,7 +51,7 @@ func TestKMeansRecoversWellSeparatedClusters(t *testing.T) {
 func TestClusterWeightsSumToOne(t *testing.T) {
 	centers := [][]float64{{0, 0}, {5, 5}}
 	pts, _ := blobs(centers, 20, 0.2, 3)
-	w := make([]float64, len(pts))
+	w := make([]float64, pts.N)
 	for i := range w {
 		w[i] = float64(i + 1)
 	}
@@ -68,10 +68,10 @@ func TestClusterWeightsSumToOne(t *testing.T) {
 func TestWeightsDominateCentroids(t *testing.T) {
 	// Two points, one with overwhelming weight: with k=1 the centroid
 	// must sit almost on the heavy point.
-	pts := [][]float64{{0}, {10}}
+	pts := MatrixFromRows([][]float64{{0}, {10}})
 	cl := Cluster(pts, []float64{1000, 1}, Options{ForceK: 1, Seed: 5})
-	if cl.Centers[0][0] > 0.1 {
-		t.Fatalf("weighted centroid at %v, want near 0", cl.Centers[0][0])
+	if cl.Centers.Row(0)[0] > 0.1 {
+		t.Fatalf("weighted centroid at %v, want near 0", cl.Centers.Row(0)[0])
 	}
 }
 
@@ -86,20 +86,21 @@ func TestForceK(t *testing.T) {
 }
 
 func TestClusterDegenerateInputs(t *testing.T) {
-	if cl := Cluster(nil, nil, Options{}); cl.K != 0 {
+	if cl := Cluster(Matrix{}, nil, Options{}); cl.K != 0 {
 		t.Error("empty input")
 	}
 	// All-identical points: must not loop or crash; k collapses to 1.
-	pts := make([][]float64, 20)
-	for i := range pts {
-		pts[i] = []float64{1, 2, 3}
+	rows := make([][]float64, 20)
+	for i := range rows {
+		rows[i] = []float64{1, 2, 3}
 	}
+	pts := MatrixFromRows(rows)
 	cl := Cluster(pts, nil, Options{KMax: 5, Seed: 1})
 	if cl.K != 1 {
 		t.Errorf("identical points clustered into k=%d", cl.K)
 	}
 	// Fewer points than KMax.
-	cl2 := Cluster(pts[:3], nil, Options{KMax: 50, Seed: 1})
+	cl2 := Cluster(MatrixFromRows(rows[:3]), nil, Options{KMax: 50, Seed: 1})
 	if cl2.K > 3 {
 		t.Errorf("k=%d exceeds point count", cl2.K)
 	}
@@ -125,14 +126,15 @@ func TestAssignmentIsNearestCenter(t *testing.T) {
 	f := func(seed uint64) bool {
 		pts, _ := blobs([][]float64{{0, 0}, {6, 6}}, 12, 0.5, seed)
 		cl := Cluster(pts, nil, Options{KMax: 4, Seed: seed})
-		for i, p := range pts {
+		for i := 0; i < pts.N; i++ {
+			p := pts.Row(i)
 			best, bestD := -1, math.Inf(1)
-			for c := range cl.Centers {
-				if d := sqDist(p, cl.Centers[c]); d < bestD {
+			for c := 0; c < cl.Centers.N; c++ {
+				if d := sqDist(p, cl.Centers.Row(c)); d < bestD {
 					best, bestD = c, d
 				}
 			}
-			if sqDist(p, cl.Centers[cl.Assign[i]]) > bestD+1e-9 && best != cl.Assign[i] {
+			if sqDist(p, cl.Centers.Row(cl.Assign[i])) > bestD+1e-9 && best != cl.Assign[i] {
 				return false
 			}
 		}
@@ -154,7 +156,7 @@ func mkInterval(idx int, start, length, cycles uint64) *trace.Interval {
 
 func TestPickPointsAndEvaluate(t *testing.T) {
 	// Three intervals in two obvious clusters.
-	pts := [][]float64{{0, 0}, {0.1, 0}, {9, 9}}
+	pts := MatrixFromRows([][]float64{{0, 0}, {0.1, 0}, {9, 9}})
 	ivs := []*trace.Interval{
 		mkInterval(0, 0, 100, 100),    // CPI 1.0
 		mkInterval(1, 100, 100, 110),  // CPI 1.1

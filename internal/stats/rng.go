@@ -51,6 +51,20 @@ func (r *RNG) Split() *RNG {
 	return NewRNG(r.Uint64() ^ 0xa5a5a5a5deadbeef)
 }
 
+// DeriveSeed derives an independent child seed from a base seed and a
+// tuple of identifiers (e.g. a k-means run's (k, restart) pair) by
+// folding each identifier through a splitmix64 step. It is a pure
+// function of its arguments, so work items seeded this way reproduce
+// bit-identically no matter how many workers execute them, or in what
+// order.
+func DeriveSeed(base uint64, ids ...uint64) uint64 {
+	s := NewRNG(base).Uint64()
+	for _, id := range ids {
+		s = NewRNG(s ^ id*0x9e3779b97f4a7c15).Uint64()
+	}
+	return s
+}
+
 // Perm returns a pseudo-random permutation of [0, n).
 func (r *RNG) Perm(n int) []int {
 	p := make([]int, n)
@@ -121,4 +135,29 @@ func (p *Projection) ApplySparse(idx []int, val []float64) []float64 {
 		out[o] = s
 	}
 	return out
+}
+
+// ApplySparse32 is ApplySparse for int32 index slices, the BBV storage
+// width, so callers need not widen indices into a scratch []int first.
+func (p *Projection) ApplySparse32(idx []int32, val []float64) []float64 {
+	out := make([]float64, p.out)
+	p.ApplySparse32Into(out, idx, val)
+	return out
+}
+
+// ApplySparse32Into projects into a caller-provided destination of
+// length Out, allocating nothing. dst is overwritten, not accumulated
+// into.
+func (p *Projection) ApplySparse32Into(dst []float64, idx []int32, val []float64) {
+	if len(dst) != p.out {
+		panic("stats: projection destination length mismatch")
+	}
+	for o := 0; o < p.out; o++ {
+		row := p.m[o*p.in : (o+1)*p.in]
+		var s float64
+		for j, i := range idx {
+			s += row[i] * val[j]
+		}
+		dst[o] = s
+	}
 }

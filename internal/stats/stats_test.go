@@ -260,3 +260,69 @@ func TestMeanStd(t *testing.T) {
 		t.Error("empty MeanStd must be zero")
 	}
 }
+
+func TestApplySparse32MatchesApplySparse(t *testing.T) {
+	p := NewProjection(40, 5, 13)
+	idx := []int{1, 8, 17, 33, 39}
+	val := []float64{0.5, -2, 3.25, 7, -0.125}
+	idx32 := make([]int32, len(idx))
+	for i, x := range idx {
+		idx32[i] = int32(x)
+	}
+	want := p.ApplySparse(idx, val)
+	got := p.ApplySparse32(idx32, val)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ApplySparse32 differs at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+	into := make([]float64, p.Out())
+	p.ApplySparse32Into(into, idx32, val)
+	for i := range want {
+		if into[i] != want[i] {
+			t.Fatalf("ApplySparse32Into differs at %d: %v vs %v", i, into[i], want[i])
+		}
+	}
+}
+
+func TestApplySparse32IntoIsAllocFree(t *testing.T) {
+	p := NewProjection(64, 15, 3)
+	idx := make([]int32, 32)
+	val := make([]float64, 32)
+	for i := range idx {
+		idx[i] = int32(i * 2)
+		val[i] = float64(i) + 0.5
+	}
+	dst := make([]float64, p.Out())
+	if allocs := testing.AllocsPerRun(100, func() {
+		p.ApplySparse32Into(dst, idx, val)
+	}); allocs != 0 {
+		t.Fatalf("ApplySparse32Into allocates %v times per call, want 0", allocs)
+	}
+}
+
+func TestApplySparse32IntoPanicsOnBadDst(t *testing.T) {
+	p := NewProjection(8, 3, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for wrong-length destination")
+		}
+	}()
+	p.ApplySparse32Into(make([]float64, 2), nil, nil)
+}
+
+func TestDeriveSeed(t *testing.T) {
+	// Deterministic: same inputs, same seed.
+	if DeriveSeed(1, 2, 3) != DeriveSeed(1, 2, 3) {
+		t.Fatal("DeriveSeed is not deterministic")
+	}
+	// Sensitive to every component, including id order.
+	seen := map[uint64][]uint64{}
+	for _, tc := range [][]uint64{{1, 2, 3}, {1, 3, 2}, {2, 2, 3}, {1, 2}, {1}, {1, 2, 4}} {
+		s := DeriveSeed(tc[0], tc[1:]...)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("DeriveSeed collision between %v and %v", prev, tc)
+		}
+		seen[s] = tc
+	}
+}
