@@ -6,6 +6,20 @@
 // All interval-size constants are the paper's scaled 1:100 (see DESIGN.md):
 // the paper's 10M-instruction baseline becomes 100k here because the
 // synthetic programs run ~100× fewer instructions than SPEC ref inputs.
+//
+// # Memoization re-entrancy contract
+//
+// Expensive artifacts (compiled programs, profiled graphs, marker sets,
+// traces) are memoized in singleflight cells (cell.go): the first caller
+// computes, concurrent callers block on that flight and share its
+// outcome, successful values are cached forever, and errors are never
+// cached. No lock is held while a compute function runs, so a compute MAY
+// call get on other cells — the figure harnesses chain graph → marker set
+// → trace → clustering this way, and internal/store.Memo extends the same
+// contract to the phased service. A compute MUST NOT re-enter the cell
+// (or, for keyed maps, the key) it is computing: that deadlocks, exactly
+// like a recursive sync.Once.Do. Keep compute dependency chains acyclic
+// in one direction — earlier pipeline stages never call later ones.
 package experiments
 
 import (

@@ -1,0 +1,124 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// waitFull blocks until the gate's admission semaphore is fully occupied,
+// so saturation assertions don't race launched-but-not-yet-enqueued
+// callers.
+func waitFull(t *testing.T, g *Gate) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(g.tokens) < cap(g.tokens) {
+		if time.Now().After(deadline) {
+			t.Fatalf("gate never filled: %d/%d tokens", len(g.tokens), cap(g.tokens))
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+func TestGateBoundsAndRejects(t *testing.T) {
+	g := NewGate(2, 1)
+
+	// Fill both execution slots and the one queue place.
+	block := make(chan struct{})
+	running := make(chan struct{}, 3)
+	done := make(chan error, 3)
+	for i := 0; i < 3; i++ {
+		go func() {
+			done <- g.Do(func() error {
+				running <- struct{}{}
+				<-block
+				return nil
+			})
+		}()
+	}
+	// Two of the three reach execution; the third holds the queue place.
+	for i := 0; i < 2; i++ {
+		select {
+		case <-running:
+		case <-time.After(5 * time.Second):
+			t.Fatal("execution slots did not fill")
+		}
+	}
+	waitFull(t, g)
+
+	// The gate is now full: the fourth caller is shed immediately.
+	if err := g.Do(func() error { return nil }); err != ErrSaturated {
+		t.Fatalf("overflow Do = %v, want ErrSaturated", err)
+	}
+
+	close(block)
+	for i := 0; i < 3; i++ {
+		if err := <-done; err != nil {
+			t.Fatalf("admitted work errored: %v", err)
+		}
+	}
+
+	// Capacity frees up again after completion.
+	if err := g.Do(func() error { return nil }); err != nil {
+		t.Fatalf("post-completion Do = %v", err)
+	}
+
+	// Draining rejects everything, even with free capacity.
+	g.StartDrain()
+	if !g.Draining() {
+		t.Error("Draining() = false after StartDrain")
+	}
+	if err := g.Do(func() error { return nil }); err != ErrDraining {
+		t.Fatalf("draining Do = %v, want ErrDraining", err)
+	}
+}
+
+func TestGateClampsDegenerateBounds(t *testing.T) {
+	g := NewGate(0, -5) // clamps to 1 worker, 0 queue
+	block := make(chan struct{})
+	started := make(chan struct{})
+	errc := make(chan error, 1)
+	go func() { errc <- g.Do(func() error { close(started); <-block; return nil }) }()
+	<-started
+	waitFull(t, g)
+	if err := g.Do(func() error { return nil }); err != ErrSaturated {
+		t.Fatalf("second Do on a 1/0 gate = %v, want ErrSaturated", err)
+	}
+	close(block)
+	if err := <-errc; err != nil {
+		t.Fatalf("blocked work errored: %v", err)
+	}
+}
+
+// TestGatePropagatesErrors checks the gate returns fn's own error
+// unchanged for admitted work.
+func TestGatePropagatesErrors(t *testing.T) {
+	g := NewGate(1, 0)
+	want := fmt.Errorf("compute exploded")
+	if err := g.Do(func() error { return want }); err != want {
+		t.Fatalf("Do = %v, want %v", err, want)
+	}
+}
+
+// TestConfigDefaults pins the derived worker/queue defaults.
+func TestConfigDefaults(t *testing.T) {
+	cases := []struct {
+		cfg                  Config
+		wantMinW, wantQueues int
+	}{
+		{Config{Workers: 3}, 3, 12},         // queue defaults to 4×workers
+		{Config{Workers: 2, Queue: 5}, 2, 5},
+		{Config{Workers: 1, Queue: -1}, 1, 0}, // negative queue means none
+	}
+	for _, tc := range cases {
+		if got := tc.cfg.workers(); got != tc.wantMinW {
+			t.Errorf("%+v workers() = %d, want %d", tc.cfg, got, tc.wantMinW)
+		}
+		if got := tc.cfg.queue(); got != tc.wantQueues {
+			t.Errorf("%+v queue() = %d, want %d", tc.cfg, got, tc.wantQueues)
+		}
+	}
+	if got := (Config{}).workers(); got < 1 {
+		t.Errorf("default workers() = %d, want >= 1", got)
+	}
+}

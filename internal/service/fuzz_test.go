@@ -1,0 +1,96 @@
+package service_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"phasemark/internal/service"
+	"phasemark/internal/store"
+)
+
+// FuzzStoreKey fuzzes the content-addressing layer: domain separation
+// must hold for every (domain, payload) pair, not just the well-formed
+// ones the service constructs. The length-prefixed encoding is what makes
+// ("ab","c") and ("a","bc") distinct; this target guards that property.
+func FuzzStoreKey(f *testing.F) {
+	f.Add("phased/v1/v1/profile", []byte(`{"workload":"lucas","input":"train"}`))
+	f.Add("phased/v1/v1/cluster", []byte(`{}`))
+	f.Add("", []byte{})
+	f.Add("a", []byte("bc"))
+	f.Add("ab", []byte("c"))
+	f.Add("d\x00m", []byte("\x00\xff"))
+	f.Fuzz(func(t *testing.T, domain string, payload []byte) {
+		k := store.KeyOf(domain, payload)
+		if k != store.KeyOf(domain, payload) {
+			t.Fatal("KeyOf is not deterministic")
+		}
+		// Moving a byte across the domain/payload boundary must change
+		// the key: concatenation alone would collide here.
+		if len(domain) > 0 {
+			shifted := store.KeyOf(domain[:len(domain)-1], append([]byte(domain[len(domain)-1:]), payload...))
+			if shifted == k {
+				t.Fatalf("domain boundary shift collides: (%q,%q)", domain, payload)
+			}
+		}
+		// Perturbing the payload must change the key.
+		if len(payload) > 0 {
+			mutated := bytes.Clone(payload)
+			mutated[0] ^= 0xff
+			if store.KeyOf(domain, mutated) == k {
+				t.Fatalf("payload mutation collides: (%q,%q)", domain, payload)
+			}
+		}
+	})
+}
+
+// FuzzRequestDecode fuzzes the wire decoders across all four endpoints:
+// arbitrary bodies must never panic, and any body that decodes must
+// canonicalize to a fixed point — decode(Encode(canon(x))) == canon(x),
+// with a stable key. A canonical form that drifts under re-decoding would
+// split one artifact across several store addresses.
+func FuzzRequestDecode(f *testing.F) {
+	f.Add(`{"workload":"lucas"}`)
+	f.Add(`{"workload":"lucas","input":"ref"}`)
+	f.Add(`{"workload":"galgel","options":{"ilower":200000,"cov_scale":1.5}}`)
+	f.Add(`{"workload":"lucas","fixed_len":100000}`)
+	f.Add(`{"workload":"lucas","select":{"workload":"lucas"}}`)
+	f.Add(`{"segment":{"workload":"lucas","fixed_len":100000},"seed":7,"kmax":4}`)
+	f.Add(`{"workload":"lucas","options":{"cov_scale":1e308}}`)
+	f.Add(`{"workload":`)
+	f.Add(`null`)
+	f.Add(`[1,2,3]`)
+	f.Add(strings.Repeat(`{"workload":`, 100))
+	f.Fuzz(func(t *testing.T, body string) {
+		if p, err := service.DecodeProfileRequest(strings.NewReader(body)); err == nil {
+			q, err := service.DecodeProfileRequest(bytes.NewReader(service.Encode(p)))
+			if err != nil || q != p {
+				t.Fatalf("profile canon not a fixed point: %+v -> %+v (%v)", p, q, err)
+			}
+			if q.Key() != p.Key() {
+				t.Fatalf("profile key unstable for %+v", p)
+			}
+		}
+		if s, err := service.DecodeSelectRequest(strings.NewReader(body)); err == nil {
+			q, err := service.DecodeSelectRequest(bytes.NewReader(service.Encode(s)))
+			if err != nil || q != s {
+				t.Fatalf("select canon not a fixed point: %+v -> %+v (%v)", s, q, err)
+			}
+			if q.Key() != s.Key() {
+				t.Fatalf("select key unstable for %+v", s)
+			}
+		}
+		if g, err := service.DecodeSegmentRequest(strings.NewReader(body)); err == nil {
+			q, err := service.DecodeSegmentRequest(bytes.NewReader(service.Encode(g)))
+			if err != nil || q.Key() != g.Key() {
+				t.Fatalf("segment canon not a fixed point: %+v -> %+v (%v)", g, q, err)
+			}
+		}
+		if c, err := service.DecodeClusterRequest(strings.NewReader(body)); err == nil {
+			q, err := service.DecodeClusterRequest(bytes.NewReader(service.Encode(c)))
+			if err != nil || q.Key() != c.Key() {
+				t.Fatalf("cluster canon not a fixed point: %+v -> %+v (%v)", c, q, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,357 @@
+package service
+
+import (
+	"fmt"
+
+	"phasemark/internal/core"
+	"phasemark/internal/minivm"
+	"phasemark/internal/obs"
+	"phasemark/internal/simpoint"
+	"phasemark/internal/store"
+	"phasemark/internal/trace"
+	"phasemark/internal/uarch"
+	"phasemark/internal/workloads"
+)
+
+// Response schema tags. These version the response layout independently of
+// the request encoding (apiVersion): a response-only change bumps these
+// and apiVersion together, since stored artifacts are response bytes.
+const (
+	SchemaProfile = "phased/profile/v1"
+	SchemaSelect  = "phased/select/v1"
+	SchemaSegment = "phased/segment/v1"
+	SchemaCluster = "phased/cluster/v1"
+	SchemaBatch   = "phased/batch/v1"
+)
+
+// ProfileResponse reports the call-loop graph of one profiled execution.
+type ProfileResponse struct {
+	Schema  string         `json:"schema"`
+	Request ProfileRequest `json:"request"`
+	Nodes   int            `json:"nodes"`
+	Edges   int            `json:"edges"`
+	// Graph is the stable-order dump of the call-loop graph (node labels,
+	// depths, per-edge count/avg/CoV/max annotations).
+	Graph string `json:"graph"`
+}
+
+// MarkerInfo is one selected marker in a SelectResponse.
+type MarkerInfo struct {
+	Edge   string  `json:"edge"` // stable EdgeKey rendering
+	GroupN uint64  `json:"group_n"`
+	AvgLen float64 `json:"avg_len"`
+	CoV    float64 `json:"cov"`
+	Count  uint64  `json:"count"`
+	Forced bool    `json:"forced"`
+}
+
+// SelectResponse reports a selected marker set and its thresholds.
+type SelectResponse struct {
+	Schema   string        `json:"schema"`
+	Request  SelectRequest `json:"request"`
+	CovBase  float64       `json:"cov_base"`
+	CovSlack float64       `json:"cov_slack"`
+	Markers  []MarkerInfo  `json:"markers"`
+}
+
+// IntervalInfo is one execution interval in a SegmentResponse.
+type IntervalInfo struct {
+	Start uint64  `json:"start"`
+	End   uint64  `json:"end"`
+	Phase int     `json:"phase"` // marker index, or -1 for the prologue / fixed cuts
+	CPI   float64 `json:"cpi"`
+}
+
+// SegmentResponse reports a segmented, measured execution.
+type SegmentResponse struct {
+	Schema       string         `json:"schema"`
+	Request      SegmentRequest `json:"request"`
+	Instructions uint64         `json:"instructions"`
+	MarkerFires  uint64         `json:"marker_fires"`
+	TrueCPI      float64        `json:"true_cpi"`
+	Intervals    []IntervalInfo `json:"intervals"`
+}
+
+// PointInfo is one chosen simulation point in a ClusterResponse.
+type PointInfo struct {
+	Cluster  int     `json:"cluster"`
+	Interval int     `json:"interval"`
+	Weight   float64 `json:"weight"`
+}
+
+// ClusterResponse reports a SimPoint phase classification.
+type ClusterResponse struct {
+	Schema       string         `json:"schema"`
+	Request      ClusterRequest `json:"request"`
+	K            int            `json:"k"`
+	BIC          float64        `json:"bic"`
+	Intervals    int            `json:"intervals"`
+	Weights      []float64      `json:"weights"`
+	Assign       []int          `json:"assign"`
+	Points       []PointInfo    `json:"points"`
+	EstimatedCPI float64        `json:"estimated_cpi"`
+	TrueCPI      float64        `json:"true_cpi"`
+	RelError     float64        `json:"rel_error"`
+	SimulatedIns uint64         `json:"simulated_instructions"`
+}
+
+// Encode renders a response in the service's canonical byte form (compact
+// JSON plus one trailing newline) — the bytes that are stored, served, and
+// compared by the byte-identity tests.
+func Encode(v any) []byte {
+	return append(mustJSON(v), '\n')
+}
+
+// NewProfileResponse builds the response for a canonical request from its
+// computed artifact. Exported (with its siblings below) so tests can
+// compose expected responses from artifacts computed directly via
+// core/trace/simpoint — the in-process spexp path — and compare bytes.
+func NewProfileResponse(req ProfileRequest, g *core.Graph) *ProfileResponse {
+	return &ProfileResponse{
+		Schema:  SchemaProfile,
+		Request: req,
+		Nodes:   len(g.Nodes),
+		Edges:   len(g.Edges),
+		Graph:   g.Dump(),
+	}
+}
+
+// NewSelectResponse builds the response for a canonical request from its
+// computed marker set.
+func NewSelectResponse(req SelectRequest, set *core.MarkerSet) *SelectResponse {
+	resp := &SelectResponse{
+		Schema:   SchemaSelect,
+		Request:  req,
+		CovBase:  set.CovBase,
+		CovSlack: set.CovSlack,
+		Markers:  []MarkerInfo{}, // render [] rather than null for empty sets
+	}
+	for _, m := range set.Markers {
+		resp.Markers = append(resp.Markers, MarkerInfo{
+			Edge:   m.Key.String(),
+			GroupN: m.GroupN,
+			AvgLen: m.AvgLen,
+			CoV:    m.CoV,
+			Count:  m.Count,
+			Forced: m.Forced,
+		})
+	}
+	return resp
+}
+
+// NewSegmentResponse builds the response for a canonical request from its
+// traced execution.
+func NewSegmentResponse(req SegmentRequest, res *trace.Result) *SegmentResponse {
+	resp := &SegmentResponse{
+		Schema:       SchemaSegment,
+		Request:      req,
+		Instructions: res.Instructions,
+		MarkerFires:  res.MarkerFires,
+		TrueCPI:      res.TrueCPI(),
+		Intervals:    make([]IntervalInfo, 0, len(res.Intervals)),
+	}
+	for _, iv := range res.Intervals {
+		resp.Intervals = append(resp.Intervals, IntervalInfo{
+			Start: iv.Start,
+			End:   iv.End,
+			Phase: iv.PhaseID,
+			CPI:   iv.CPI(),
+		})
+	}
+	return resp
+}
+
+// NewClusterResponse builds the response for a canonical request from its
+// traced execution and clustering.
+func NewClusterResponse(req ClusterRequest, res *trace.Result, c *simpoint.Clustering) *ClusterResponse {
+	pts := simpoint.PickPoints(c, c.Points())
+	est := simpoint.Evaluate(pts, res.Intervals, res.TrueCPI(), c.K)
+	resp := &ClusterResponse{
+		Schema:       SchemaCluster,
+		Request:      req,
+		K:            c.K,
+		BIC:          c.BIC,
+		Intervals:    len(res.Intervals),
+		Weights:      c.Weights,
+		Assign:       c.Assign,
+		Points:       []PointInfo{},
+		EstimatedCPI: est.EstimatedCPI,
+		TrueCPI:      est.TrueCPI,
+		RelError:     est.RelativeError,
+		SimulatedIns: est.SimulatedIns,
+	}
+	for _, p := range pts {
+		resp.Points = append(resp.Points, PointInfo{Cluster: p.Cluster, Interval: p.Interval, Weight: p.Weight})
+	}
+	return resp
+}
+
+// ClusterOptions maps a canonical cluster request onto simpoint.Options —
+// one place, so the service and the byte-identity tests cannot drift.
+func ClusterOptions(req ClusterRequest) simpoint.Options {
+	return simpoint.Options{
+		KMax:     req.KMax,
+		Dims:     req.Dims,
+		Seed:     req.Seed,
+		Restarts: req.Restarts,
+		MaxIters: req.MaxIters,
+	}
+}
+
+// SelectOptions maps a canonical select spec onto core.SelectOptions.
+func (s SelectSpec) SelectOptions() core.SelectOptions {
+	return core.SelectOptions{
+		ILower:    s.ILower,
+		MaxLimit:  s.MaxLimit,
+		ProcsOnly: s.ProcsOnly,
+		CovScale:  s.CovScale,
+		MinCount:  s.MinCount,
+	}
+}
+
+// graphKey identifies a memoized profiled graph.
+type graphKey struct {
+	workload string
+	input    string
+}
+
+// Pipeline computes responses for canonical requests over the existing
+// pipeline packages, memoizing every expensive intermediate artifact with
+// singleflight semantics (store.Memo): compiled programs per workload,
+// profiled graphs per (workload, input), marker sets per select request,
+// traced executions per segment request. Clusterings are cheap relative to
+// the trace they consume and are not memoized — the response bytes
+// themselves live in the artifact store.
+//
+// Memory grows with the set of *distinct* artifacts requested over the
+// process lifetime (traces dominate). That is the intended trade for a
+// service whose request population is content-addressed and heavily
+// repeated; a process restart over the same store directory serves prior
+// responses from disk without recomputing anything.
+type Pipeline struct {
+	progs  store.Memo[string, *minivm.Program]
+	graphs store.Memo[graphKey, *core.Graph]
+	sets   store.Memo[store.Key, *core.MarkerSet]
+	traces store.Memo[store.Key, *trace.Result]
+}
+
+// NewPipeline builds an empty pipeline cache.
+func NewPipeline() *Pipeline { return &Pipeline{} }
+
+// prog compiles (memoized) the named workload.
+func (p *Pipeline) prog(name string) (*workloads.Workload, *minivm.Program, error) {
+	w, err := workloads.ByName(name)
+	if err != nil {
+		return nil, nil, reqErrf("unknown workload %q", name)
+	}
+	prog, err := p.progs.Do(name, func() (*minivm.Program, error) {
+		sp := obs.StartSpan("service.compile", name)
+		defer sp.End()
+		return w.Compile(false)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return w, prog, nil
+}
+
+// Graph profiles (memoized) the workload on the named input.
+func (p *Pipeline) Graph(workload, input string) (*core.Graph, error) {
+	w, prog, err := p.prog(workload)
+	if err != nil {
+		return nil, err
+	}
+	return p.graphs.Do(graphKey{workload, input}, func() (*core.Graph, error) {
+		sp := obs.StartSpan("service.profile", workload+"/"+input)
+		defer sp.End()
+		args := w.Train
+		if input == InputRef {
+			args = w.Ref
+		}
+		g, err := core.ProfileRun(prog, args...)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", workload, err)
+		}
+		return g, nil
+	})
+}
+
+// Markers selects (memoized) the marker set for a canonical request.
+func (p *Pipeline) Markers(req SelectRequest) (*core.MarkerSet, error) {
+	return p.sets.Do(req.Key(), func() (*core.MarkerSet, error) {
+		g, err := p.Graph(req.Workload, req.Input)
+		if err != nil {
+			return nil, err
+		}
+		sp := obs.StartSpan("service.select", req.Workload)
+		defer sp.End()
+		return core.SelectMarkers(g, req.Options.SelectOptions()), nil
+	})
+}
+
+// Trace runs (memoized) the segmented ref execution for a canonical
+// request.
+func (p *Pipeline) Trace(req SegmentRequest) (*trace.Result, error) {
+	return p.traces.Do(req.Key(), func() (*trace.Result, error) {
+		w, prog, err := p.prog(req.Workload)
+		if err != nil {
+			return nil, err
+		}
+		cfg := trace.Config{Prog: prog, Args: w.Ref, CPU: uarch.DefaultConfig()}
+		if req.FixedLen > 0 {
+			cfg.FixedLen = req.FixedLen
+		} else {
+			set, err := p.Markers(*req.Select)
+			if err != nil {
+				return nil, err
+			}
+			cfg.Markers = set
+		}
+		sp := obs.StartSpan("service.segment", req.Workload)
+		defer sp.End()
+		res, err := trace.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", req.Workload, err)
+		}
+		return res, nil
+	})
+}
+
+// Profile computes the response bytes for a canonical profile request.
+func (p *Pipeline) Profile(req ProfileRequest) ([]byte, error) {
+	g, err := p.Graph(req.Workload, req.Input)
+	if err != nil {
+		return nil, err
+	}
+	return Encode(NewProfileResponse(req, g)), nil
+}
+
+// Select computes the response bytes for a canonical select request.
+func (p *Pipeline) Select(req SelectRequest) ([]byte, error) {
+	set, err := p.Markers(req)
+	if err != nil {
+		return nil, err
+	}
+	return Encode(NewSelectResponse(req, set)), nil
+}
+
+// Segment computes the response bytes for a canonical segment request.
+func (p *Pipeline) Segment(req SegmentRequest) ([]byte, error) {
+	res, err := p.Trace(req)
+	if err != nil {
+		return nil, err
+	}
+	return Encode(NewSegmentResponse(req, res)), nil
+}
+
+// Cluster computes the response bytes for a canonical cluster request.
+func (p *Pipeline) Cluster(req ClusterRequest) ([]byte, error) {
+	res, err := p.Trace(req.Segment)
+	if err != nil {
+		return nil, err
+	}
+	sp := obs.StartSpan("service.cluster", req.Segment.Workload)
+	c := simpoint.Classify(res, ClusterOptions(req))
+	sp.End()
+	return Encode(NewClusterResponse(req, res, c)), nil
+}

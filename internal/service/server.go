@@ -1,0 +1,371 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+
+	"phasemark/internal/obs"
+	"phasemark/internal/par"
+	"phasemark/internal/store"
+)
+
+// Per-endpoint request counters plus HTTP outcome classes.
+var (
+	obsReqProfile = obs.NewCounter("service.req.profile")
+	obsReqSelect  = obs.NewCounter("service.req.select")
+	obsReqSegment = obs.NewCounter("service.req.segment")
+	obsReqCluster = obs.NewCounter("service.req.cluster")
+	obsReqBatch   = obs.NewCounter("service.req.batch")
+	obsStatus2xx  = obs.NewCounter("service.status.2xx")
+	obsStatus4xx  = obs.NewCounter("service.status.4xx")
+	obsStatus429  = obs.NewCounter("service.status.429")
+	obsStatus5xx  = obs.NewCounter("service.status.5xx")
+	obsStatus503  = obs.NewCounter("service.status.503")
+)
+
+// Config configures a Server.
+type Config struct {
+	// Store holds response artifacts; required.
+	Store *store.Store
+	// Workers bounds concurrently executing requests (default GOMAXPROCS).
+	Workers int
+	// Queue bounds requests waiting for an execution slot (default
+	// 4×Workers). Work beyond Workers+Queue is rejected with 429.
+	Queue int
+}
+
+func (c Config) workers() int {
+	if c.Workers < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.Workers
+}
+
+func (c Config) queue() int {
+	if c.Queue < 0 {
+		return 0
+	}
+	if c.Queue == 0 {
+		return 4 * c.workers()
+	}
+	return c.Queue
+}
+
+// Server is the phased HTTP service: the four pipeline endpoints plus
+// batch, health, and metrics, over one artifact store and one admission
+// gate. Construct with New, mount Handler on an http.Server, and call
+// StartDrain before http.Server.Shutdown for a graceful stop.
+type Server struct {
+	cfg  Config
+	pl   *Pipeline
+	gate *Gate
+	mux  *http.ServeMux
+}
+
+// New builds a Server over its artifact store.
+func New(cfg Config) *Server {
+	if cfg.Store == nil {
+		panic("service: Config.Store is required")
+	}
+	s := &Server{
+		cfg:  cfg,
+		pl:   NewPipeline(),
+		gate: NewGate(cfg.workers(), cfg.queue()),
+		mux:  http.NewServeMux(),
+	}
+	s.mux.HandleFunc(EndpointProfile, s.handleProfile)
+	s.mux.HandleFunc(EndpointSelect, s.handleSelect)
+	s.mux.HandleFunc(EndpointSegment, s.handleSegment)
+	s.mux.HandleFunc(EndpointCluster, s.handleCluster)
+	s.mux.HandleFunc(EndpointBatch, s.handleBatch)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Store returns the server's artifact store (stress reporting, tests).
+func (s *Server) Store() *store.Store { return s.cfg.Store }
+
+// Pipeline returns the server's artifact pipeline (tests).
+func (s *Server) Pipeline() *Pipeline { return s.pl }
+
+// StartDrain stops admitting work: pipeline endpoints answer 503 and
+// /healthz flips unhealthy so load balancers stop routing here. Pair with
+// http.Server.Shutdown, which waits for in-flight handlers.
+func (s *Server) StartDrain() { s.gate.StartDrain() }
+
+// Draining reports whether StartDrain has been called.
+func (s *Server) Draining() bool { return s.gate.Draining() }
+
+// result is one dispatched API call's outcome, shared by the single
+// endpoints and the batch items.
+type result struct {
+	data  []byte
+	cache string // store outcome: hit | computed | joined ("" on error)
+	key   string // artifact key hex ("" before canonicalization succeeds)
+	err   error
+}
+
+// dispatch executes one API call: decode+canonicalize, admit through the
+// gate, then serve from the store or compute once.
+func dispatch[T any](s *Server, body io.Reader,
+	decode func(io.Reader) (T, error),
+	key func(T) store.Key,
+	compute func(T) ([]byte, error),
+) result {
+	req, err := decode(body)
+	if err != nil {
+		return result{err: err}
+	}
+	k := key(req)
+	var data []byte
+	var outcome store.Outcome
+	err = s.gate.Do(func() error {
+		var cerr error
+		data, outcome, cerr = s.cfg.Store.GetOrCompute(k, func() ([]byte, error) {
+			return compute(req)
+		})
+		return cerr
+	})
+	if err != nil {
+		return result{key: k.String(), err: err}
+	}
+	return result{data: data, cache: outcome.String(), key: k.String()}
+}
+
+// status maps a dispatch error to its HTTP status.
+func status(err error) int {
+	var reqErr *RequestError
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.As(err, &reqErr):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrSaturated):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func countStatus(code int) {
+	switch {
+	case code == http.StatusTooManyRequests:
+		obsStatus429.Inc()
+	case code == http.StatusServiceUnavailable:
+		obsStatus503.Inc()
+	case code >= 500:
+		obsStatus5xx.Inc()
+	case code >= 400:
+		obsStatus4xx.Inc()
+	case code >= 200 && code < 300:
+		obsStatus2xx.Inc()
+	}
+}
+
+// errorBody renders the uniform error payload.
+func errorBody(err error) []byte {
+	return Encode(map[string]string{"error": err.Error()})
+}
+
+// write emits one dispatch result over HTTP.
+func write(w http.ResponseWriter, res result) {
+	code := status(res.err)
+	countStatus(code)
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	if res.key != "" {
+		h.Set("X-Phased-Key", res.key)
+	}
+	if res.cache != "" {
+		h.Set("X-Phased-Cache", res.cache)
+	}
+	if code == http.StatusTooManyRequests {
+		h.Set("Retry-After", strconv.Itoa(RetryAfterSeconds))
+	}
+	w.WriteHeader(code)
+	if res.err != nil {
+		w.Write(errorBody(res.err))
+		return
+	}
+	w.Write(res.data)
+}
+
+// post guards the pipeline endpoints' method.
+func post(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		countStatus(http.StatusMethodNotAllowed)
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	if !post(w, r) {
+		return
+	}
+	obsReqProfile.Inc()
+	write(w, dispatch(s, r.Body, DecodeProfileRequest, ProfileRequest.Key, s.pl.Profile))
+}
+
+func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
+	if !post(w, r) {
+		return
+	}
+	obsReqSelect.Inc()
+	write(w, dispatch(s, r.Body, DecodeSelectRequest, SelectRequest.Key, s.pl.Select))
+}
+
+func (s *Server) handleSegment(w http.ResponseWriter, r *http.Request) {
+	if !post(w, r) {
+		return
+	}
+	obsReqSegment.Inc()
+	write(w, dispatch(s, r.Body, DecodeSegmentRequest, SegmentRequest.Key, s.pl.Segment))
+}
+
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	if !post(w, r) {
+		return
+	}
+	obsReqCluster.Inc()
+	write(w, dispatch(s, r.Body, DecodeClusterRequest, ClusterRequest.Key, s.pl.Cluster))
+}
+
+// BatchRequest fans a set of API calls through the service in one HTTP
+// round trip.
+type BatchRequest struct {
+	Requests []BatchItem `json:"requests"`
+}
+
+// BatchItem is one API call inside a batch: the endpoint path and its
+// request body.
+type BatchItem struct {
+	Endpoint string          `json:"endpoint"`
+	Body     json.RawMessage `json:"body"`
+}
+
+// BatchResult is one batch item's outcome. Status and Body mirror exactly
+// what the item's standalone endpoint would have returned (including
+// per-item 429s under saturation); Cache and Key mirror the headers.
+type BatchResult struct {
+	Status int             `json:"status"`
+	Cache  string          `json:"cache,omitempty"`
+	Key    string          `json:"key,omitempty"`
+	Body   json.RawMessage `json:"body"`
+}
+
+// BatchResponse is the batch endpoint's payload.
+type BatchResponse struct {
+	Schema  string        `json:"schema"`
+	Results []BatchResult `json:"results"`
+}
+
+// maxBatchItems bounds one batch request.
+const maxBatchItems = 1024
+
+// handleBatch runs the batch items over the shared worker-pool primitive
+// (par.ForEach) with the server's execution width. Each item passes
+// through the admission gate individually, so a saturated server degrades
+// batches item-by-item (per-item 429) rather than all-or-nothing.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if !post(w, r) {
+		return
+	}
+	obsReqBatch.Inc()
+	var req BatchRequest
+	if err := decodeStrict(r.Body, &req); err != nil {
+		write(w, result{err: err})
+		return
+	}
+	if len(req.Requests) > maxBatchItems {
+		write(w, result{err: reqErrf("batch of %d items exceeds limit %d", len(req.Requests), maxBatchItems)})
+		return
+	}
+	results := make([]BatchResult, len(req.Requests))
+	par.ForEach(len(req.Requests), s.cfg.workers(), nil, func(_, i int) {
+		results[i] = s.batchItem(req.Requests[i])
+	})
+	resp := &BatchResponse{Schema: SchemaBatch, Results: results}
+	countStatus(http.StatusOK)
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(Encode(resp))
+}
+
+// batchItem dispatches one batch entry through the same path as its
+// standalone endpoint.
+func (s *Server) batchItem(item BatchItem) BatchResult {
+	var res result
+	switch item.Endpoint {
+	case EndpointProfile:
+		res = dispatch(s, bytesReader(item.Body), DecodeProfileRequest, ProfileRequest.Key, s.pl.Profile)
+	case EndpointSelect:
+		res = dispatch(s, bytesReader(item.Body), DecodeSelectRequest, SelectRequest.Key, s.pl.Select)
+	case EndpointSegment:
+		res = dispatch(s, bytesReader(item.Body), DecodeSegmentRequest, SegmentRequest.Key, s.pl.Segment)
+	case EndpointCluster:
+		res = dispatch(s, bytesReader(item.Body), DecodeClusterRequest, ClusterRequest.Key, s.pl.Cluster)
+	default:
+		res = result{err: reqErrf("unknown batch endpoint %q", item.Endpoint)}
+	}
+	out := BatchResult{Status: status(res.err), Cache: res.cache, Key: res.key}
+	if res.err != nil {
+		out.Body = errorBody(res.err)
+	} else {
+		out.Body = res.data
+	}
+	countStatus(out.Status)
+	return out
+}
+
+func bytesReader(b []byte) io.Reader {
+	return &byteReader{b: b}
+}
+
+// byteReader avoids importing bytes for one Reader.
+type byteReader struct{ b []byte }
+
+func (r *byteReader) Read(p []byte) (int, error) {
+	if len(r.b) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b)
+	r.b = r.b[n:]
+	return n, nil
+}
+
+// handleHealthz reports liveness: 200 while serving, 503 while draining
+// (so orchestrators stop routing before shutdown completes).
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if s.Draining() {
+		countStatus(http.StatusServiceUnavailable)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write(Encode(map[string]string{"status": "draining"}))
+		return
+	}
+	countStatus(http.StatusOK)
+	w.Write(Encode(map[string]string{"status": "ok", "store": s.cfg.Store.Dir()}))
+}
+
+// handleMetrics serves a JSON snapshot of the internal/obs registry —
+// counters (store + cell + admission + pipeline), gauges, histograms, and
+// per-stage span aggregates.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	countStatus(http.StatusOK)
+	// A write error here means the scraper hung up mid-snapshot; there is
+	// no response left to salvage.
+	_ = obs.WriteMetrics(w)
+}

@@ -1,0 +1,198 @@
+package servtest
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+
+	"phasemark/internal/par"
+)
+
+// Scenario is one stress pattern: n requests of the given mix fired at a
+// server from `concurrency` concurrent clients.
+type Scenario struct {
+	Name        string
+	Workload    string
+	Requests    int
+	Concurrency int
+	Mix         Mix
+	Seed        uint64
+	// ExpectShed marks induced-saturation scenarios, where 429s are the
+	// point rather than a failure (Check treats shed traffic accordingly).
+	ExpectShed bool
+}
+
+// StatusCounts buckets request outcomes the way the service's own status
+// counters do, plus client-side transport failures.
+type StatusCounts struct {
+	OK         int `json:"ok"`          // 200
+	BadRequest int `json:"bad_request"` // 4xx other than 429
+	Shed       int `json:"shed"`        // 429
+	Draining   int `json:"draining"`    // 503
+	ServerErr  int `json:"server_err"`  // remaining 5xx
+	Transport  int `json:"transport"`   // request never completed
+}
+
+// CacheCounts buckets successful responses by the X-Phased-Cache header.
+type CacheCounts struct {
+	Hit      int `json:"hit"`
+	Computed int `json:"computed"`
+	Joined   int `json:"joined"`
+}
+
+// LatencySummary is the request latency distribution in nanoseconds.
+type LatencySummary struct {
+	P50NS int64 `json:"p50_ns"`
+	P90NS int64 `json:"p90_ns"`
+	P99NS int64 `json:"p99_ns"`
+	MaxNS int64 `json:"max_ns"`
+}
+
+// StoreCounts mirrors the server-side store stats for the scenario
+// (filled by the stress driver, which owns the server; zero when the
+// client has no server access).
+type StoreCounts struct {
+	Computes uint64 `json:"computes"`
+	DiskHits uint64 `json:"disk_hits"`
+	Joins    uint64 `json:"joins"`
+}
+
+// ScenarioResult is one scenario's aggregated outcome.
+type ScenarioResult struct {
+	Name        string         `json:"name"`
+	Workload    string         `json:"workload"`
+	Requests    int            `json:"requests"`
+	Concurrency int            `json:"concurrency"`
+	Mix         Mix            `json:"mix"`
+	ExpectShed  bool           `json:"expect_shed,omitempty"`
+	DurationNS  int64          `json:"duration_ns"`
+	ReqPerSec   float64        `json:"req_per_sec"`
+	Status      StatusCounts   `json:"status"`
+	Cache       CacheCounts    `json:"cache"`
+	Latency     LatencySummary `json:"latency"`
+	Store       StoreCounts    `json:"store"`
+}
+
+// percentile returns the p-quantile (0 < p <= 1) of sorted latencies by
+// the nearest-rank method.
+func percentile(sorted []int64, p float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// Run fires the scenario's generated requests at baseURL over
+// `concurrency` workers (par.ForEach — the same pool primitive the server
+// fans batches out on) and aggregates statuses, cache outcomes, and
+// latency percentiles.
+func (s Scenario) Run(baseURL string, client *http.Client) ScenarioResult {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	reqs := Generate(s.Workload, s.Requests, s.Mix, s.Seed)
+
+	codes := make([]int, len(reqs))
+	caches := make([]string, len(reqs))
+	lats := make([]int64, len(reqs))
+	start := time.Now()
+	par.ForEach(len(reqs), s.Concurrency, nil, func(_, i int) {
+		t0 := time.Now()
+		resp, err := client.Post(baseURL+reqs[i].Endpoint, "application/json", bytes.NewReader(reqs[i].Body))
+		lats[i] = time.Since(t0).Nanoseconds()
+		if err != nil {
+			codes[i] = -1
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		codes[i] = resp.StatusCode
+		caches[i] = resp.Header.Get("X-Phased-Cache")
+	})
+	dur := time.Since(start)
+
+	res := ScenarioResult{
+		Name:        s.Name,
+		Workload:    s.Workload,
+		Requests:    len(reqs),
+		Concurrency: s.Concurrency,
+		Mix:         s.Mix,
+		ExpectShed:  s.ExpectShed,
+		DurationNS:  dur.Nanoseconds(),
+	}
+	if secs := dur.Seconds(); secs > 0 {
+		res.ReqPerSec = float64(len(reqs)) / secs
+	}
+	for i, code := range codes {
+		switch {
+		case code == -1:
+			res.Status.Transport++
+		case code == http.StatusOK:
+			res.Status.OK++
+			switch caches[i] {
+			case "hit":
+				res.Cache.Hit++
+			case "computed":
+				res.Cache.Computed++
+			case "joined":
+				res.Cache.Joined++
+			}
+		case code == http.StatusTooManyRequests:
+			res.Status.Shed++
+		case code == http.StatusServiceUnavailable:
+			res.Status.Draining++
+		case code >= 500:
+			res.Status.ServerErr++
+		default:
+			res.Status.BadRequest++
+		}
+	}
+	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+	res.Latency = LatencySummary{
+		P50NS: percentile(lats, 0.50),
+		P90NS: percentile(lats, 0.90),
+		P99NS: percentile(lats, 0.99),
+		MaxNS: lats[len(lats)-1],
+	}
+	return res
+}
+
+// Check validates a result against the service's steady-state contract:
+// no 5xx, no transport failures, no malformed generated requests, and —
+// unless the scenario induced saturation on purpose — no shed traffic.
+// It returns a list of violations, empty when the result is healthy.
+func (r ScenarioResult) Check() []string {
+	var bad []string
+	fail := func(format string, args ...any) {
+		bad = append(bad, r.Name+": "+fmt.Sprintf(format, args...))
+	}
+	if r.Status.ServerErr > 0 {
+		fail("%d server errors (5xx)", r.Status.ServerErr)
+	}
+	if r.Status.Transport > 0 {
+		fail("%d transport failures", r.Status.Transport)
+	}
+	if r.Status.BadRequest > 0 {
+		fail("%d rejected requests (4xx): generator emitted invalid traffic", r.Status.BadRequest)
+	}
+	if r.Status.Draining > 0 {
+		fail("%d draining rejections (503)", r.Status.Draining)
+	}
+	if !r.ExpectShed && r.Status.Shed > 0 {
+		fail("%d shed requests (429) at steady state", r.Status.Shed)
+	}
+	if r.ExpectShed && r.Status.Shed == 0 {
+		fail("induced saturation shed nothing")
+	}
+	return bad
+}

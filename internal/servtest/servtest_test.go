@@ -1,0 +1,222 @@
+package servtest
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"phasemark/internal/service"
+	"phasemark/internal/store"
+)
+
+func TestGenerateIsDeterministic(t *testing.T) {
+	mix := Mix{Cold: 0.2, Warm: 0.5, Hot: 0.3}
+	a := Generate("lucas", 500, mix, 42)
+	b := Generate("lucas", 500, mix, 42)
+	if len(a) != 500 {
+		t.Fatalf("generated %d requests, want 500", len(a))
+	}
+	for i := range a {
+		if a[i].Endpoint != b[i].Endpoint || !bytes.Equal(a[i].Body, b[i].Body) || a[i].Kind != b[i].Kind {
+			t.Fatalf("request %d differs across same-seed generations", i)
+		}
+	}
+	if c := Generate("lucas", 500, mix, 43); func() bool {
+		for i := range a {
+			if !bytes.Equal(a[i].Body, c[i].Body) {
+				return false
+			}
+		}
+		return true
+	}() {
+		t.Error("distinct seeds generated identical traffic")
+	}
+}
+
+func TestGenerateMixAndValidity(t *testing.T) {
+	mix := Mix{Cold: 1, Warm: 1, Hot: 1}
+	reqs := Generate("lucas", 900, mix, 7)
+	kinds := map[string]int{}
+	coldBodies := map[string]bool{}
+	for _, r := range reqs {
+		kinds[r.Kind]++
+		if r.Kind == "cold" {
+			if coldBodies[string(r.Body)] {
+				t.Fatalf("cold request repeated: %s", r.Body)
+			}
+			coldBodies[string(r.Body)] = true
+		}
+	}
+	// Equal weights: each class should land near 300 of 900. A loose band
+	// keeps the test deterministic-friendly while catching a broken mix.
+	for _, k := range []string{"cold", "warm", "hot"} {
+		if kinds[k] < 200 || kinds[k] > 400 {
+			t.Errorf("kind %s: %d of 900, want ~300", k, kinds[k])
+		}
+	}
+
+	// Every generated request must canonicalize: the generator may never
+	// emit traffic the service rejects.
+	for i, r := range reqs {
+		var err error
+		switch r.Endpoint {
+		case service.EndpointProfile:
+			_, err = service.DecodeProfileRequest(bytes.NewReader(r.Body))
+		case service.EndpointSelect:
+			_, err = service.DecodeSelectRequest(bytes.NewReader(r.Body))
+		case service.EndpointSegment:
+			_, err = service.DecodeSegmentRequest(bytes.NewReader(r.Body))
+		case service.EndpointCluster:
+			_, err = service.DecodeClusterRequest(bytes.NewReader(r.Body))
+		default:
+			t.Fatalf("request %d: unknown endpoint %s", i, r.Endpoint)
+		}
+		if err != nil {
+			t.Fatalf("request %d (%s %s) is invalid: %v", i, r.Endpoint, r.Body, err)
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	lats := []int64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	cases := []struct {
+		p    float64
+		want int64
+	}{{0.50, 50}, {0.90, 90}, {0.99, 100}, {1.0, 100}}
+	for _, tc := range cases {
+		if got := percentile(lats, tc.p); got != tc.want {
+			t.Errorf("percentile(%v) = %d, want %d", tc.p, got, tc.want)
+		}
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("percentile(empty) = %d, want 0", got)
+	}
+}
+
+// TestScenarioRunAgainstLiveServer drives a small hot-heavy scenario at a
+// real server and checks the aggregation: all 200s, caches accounted,
+// Check clean.
+func TestScenarioRunAgainstLiveServer(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := service.New(service.Config{Store: st, Workers: 4, Queue: 256})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	sc := Scenario{
+		Name:        "smoke",
+		Workload:    "lucas",
+		Requests:    60,
+		Concurrency: 4,
+		Mix:         Mix{Hot: 1},
+		Seed:        1,
+	}
+	res := sc.Run(ts.URL, nil)
+	if res.Requests != 60 || res.Status.OK != 60 {
+		t.Fatalf("status = %+v over %d requests, want all OK", res.Status, res.Requests)
+	}
+	if got := res.Cache.Hit + res.Cache.Computed + res.Cache.Joined; got != 60 {
+		t.Errorf("cache outcomes account for %d of 60 successes", got)
+	}
+	// Hot-only traffic over 4 distinct requests: at most 4 computes, the
+	// rest hits/joins.
+	if res.Cache.Computed > 4 {
+		t.Errorf("hot scenario computed %d times, want <= 4", res.Cache.Computed)
+	}
+	if res.Latency.MaxNS <= 0 || res.Latency.P50NS > res.Latency.MaxNS {
+		t.Errorf("latency summary inconsistent: %+v", res.Latency)
+	}
+	if bad := res.Check(); len(bad) != 0 {
+		t.Errorf("Check() = %v, want clean", bad)
+	}
+}
+
+func TestCheckFlagsViolations(t *testing.T) {
+	r := ScenarioResult{Name: "s", Status: StatusCounts{ServerErr: 1, Shed: 2}}
+	bad := r.Check()
+	if len(bad) != 2 {
+		t.Fatalf("Check() = %v, want 2 violations", bad)
+	}
+	for _, b := range bad {
+		if !strings.HasPrefix(b, "s: ") {
+			t.Errorf("violation %q lacks scenario prefix", b)
+		}
+	}
+	// Induced saturation inverts the shed expectation.
+	r.ExpectShed = true
+	if bad := (ScenarioResult{Name: "s", ExpectShed: true, Status: StatusCounts{Shed: 5}}).Check(); len(bad) != 0 {
+		t.Errorf("expected shed flagged: %v", bad)
+	}
+	if bad := (ScenarioResult{Name: "s", ExpectShed: true}).Check(); len(bad) != 1 {
+		t.Errorf("absent shed under saturation not flagged: %v", bad)
+	}
+}
+
+func TestReportRoundTripAndMerge(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_service.json")
+	r, err := LoadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Schema != Schema || len(r.Runs) != 0 {
+		t.Fatalf("fresh report: %+v", r)
+	}
+	r.SetRun(Run{Label: "dev", Scenarios: []ScenarioResult{{Name: "cold", Requests: 10}, {Name: "hot", Requests: 20}}})
+	// Partial re-run: replaces "cold", keeps "hot", appends "mixed".
+	r.SetRun(Run{Label: "dev", Scenarios: []ScenarioResult{{Name: "cold", Requests: 99}, {Name: "mixed", Requests: 5}}})
+	r.SetRun(Run{Label: "other", Scenarios: []ScenarioResult{{Name: "cold", Requests: 1}}})
+	if len(r.Runs) != 2 || len(r.Runs[0].Scenarios) != 3 {
+		t.Fatalf("merge shape: %+v", r.Runs)
+	}
+	if r.Runs[0].Scenarios[0].Requests != 99 || r.Runs[0].Scenarios[1].Requests != 20 {
+		t.Fatalf("merge content: %+v", r.Runs[0].Scenarios)
+	}
+
+	var buf bytes.Buffer
+	if err := r.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Runs) != 2 || back.Runs[0].Scenarios[0].Requests != 99 {
+		t.Fatalf("round trip: %+v", back.Runs)
+	}
+
+	// A foreign schema must refuse to load.
+	if err := os.WriteFile(path, []byte(`{"schema":"phasemark/bench-service/v999"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadReport(path); err == nil {
+		t.Error("foreign schema loaded silently")
+	}
+}
+
+func TestScenarioRunCountsTransportFailures(t *testing.T) {
+	// A server that immediately drops connections.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hj, _ := w.(http.Hijacker)
+		conn, _, err := hj.Hijack()
+		if err == nil {
+			conn.Close()
+		}
+	}))
+	defer ts.Close()
+	res := Scenario{Name: "broken", Workload: "lucas", Requests: 8, Concurrency: 2, Mix: Mix{Hot: 1}, Seed: 1}.Run(ts.URL, nil)
+	if res.Status.Transport != 8 {
+		t.Errorf("transport failures = %d, want 8 (%+v)", res.Status.Transport, res.Status)
+	}
+	if len(res.Check()) == 0 {
+		t.Error("Check() clean despite transport failures")
+	}
+}

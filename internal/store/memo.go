@@ -1,0 +1,83 @@
+package store
+
+import "sync"
+
+// Memo is the in-memory counterpart of Store: a keyed, compute-once cache
+// with singleflight semantics, generalizing the unexported cell pattern of
+// internal/experiments for values that are too expensive (or impossible)
+// to serialize to disk — compiled programs, profiled graphs, traced
+// executions. The first requester of a key computes, concurrent
+// requesters block on that one computation, and a successful value is
+// cached for the Memo's lifetime. Errors are not cached: waiters of a
+// failed flight share the leader's error, and the next requester retries.
+//
+// The same re-entrancy contract as Store.GetOrCompute applies: compute
+// runs with no lock held, so it may Do other keys (or other Memos), but
+// re-entering its own key deadlocks.
+type Memo[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*memoEntry[V]
+}
+
+type memoEntry[V any] struct {
+	done     bool
+	val      V
+	inflight *memoFlight[V]
+}
+
+type memoFlight[V any] struct {
+	ch  chan struct{}
+	val V
+	err error
+}
+
+// Do returns the cached value for k, joins an in-flight computation, or
+// runs compute itself.
+func (m *Memo[K, V]) Do(k K, compute func() (V, error)) (V, error) {
+	m.mu.Lock()
+	if m.m == nil {
+		m.m = map[K]*memoEntry[V]{}
+	}
+	e := m.m[k]
+	if e == nil {
+		e = &memoEntry[V]{}
+		m.m[k] = e
+	}
+	if e.done {
+		v := e.val
+		m.mu.Unlock()
+		return v, nil
+	}
+	if f := e.inflight; f != nil {
+		m.mu.Unlock()
+		<-f.ch
+		return f.val, f.err
+	}
+	f := &memoFlight[V]{ch: make(chan struct{})}
+	e.inflight = f
+	m.mu.Unlock()
+
+	f.val, f.err = compute()
+
+	m.mu.Lock()
+	if f.err == nil {
+		e.val, e.done = f.val, true
+	}
+	e.inflight = nil
+	m.mu.Unlock()
+	close(f.ch)
+	return f.val, f.err
+}
+
+// Len reports how many keys hold a cached value.
+func (m *Memo[K, V]) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, e := range m.m {
+		if e.done {
+			n++
+		}
+	}
+	return n
+}
