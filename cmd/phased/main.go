@@ -25,14 +25,17 @@
 // store must serve everything from disk without recomputing), and
 // saturate (a deliberately tiny server under excess concurrency, where
 // 429s are the expected behavior). Results append to -stress-out under
-// -stress-label (schema phasemark/bench-service/v1, see EXPERIMENTS.md).
-// Any steady-state 5xx, transport failure, or unexpected 429 exits 1.
+// -stress-label (schema phasemark/bench-service/v2, see EXPERIMENTS.md).
+// Any steady-state 5xx, transport failure, unexpected 429, or
+// telemetry-consistency violation (stage durations exceeding wall time,
+// cache hits reporting a compute stage) exits 1.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -42,8 +45,8 @@ import (
 	"syscall"
 	"time"
 
-	"phasemark/internal/servtest"
 	"phasemark/internal/service"
+	"phasemark/internal/servtest"
 	"phasemark/internal/store"
 )
 
@@ -54,6 +57,8 @@ func main() {
 		workers      = flag.Int("workers", 0, "max concurrently executing requests (0 = GOMAXPROCS)")
 		queue        = flag.Int("queue", 0, "max requests queued for a slot (0 = 4x workers)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "serve: max wait for in-flight requests on shutdown")
+		accessLog    = flag.Bool("log", false, "serve: emit a structured (JSON) access log line per request to stderr")
+		version      = flag.Bool("version", false, "print build information and exit")
 
 		stress         = flag.Bool("stress", false, "run the synthetic stress suite instead of serving")
 		stressOut      = flag.String("stress-out", "results/BENCH_service.json", "stress: report path")
@@ -64,6 +69,10 @@ func main() {
 	)
 	flag.Parse()
 
+	if *version {
+		fmt.Println(service.Build().String())
+		os.Exit(0)
+	}
 	if *stress {
 		os.Exit(runStress(stressConfig{
 			out:      *stressOut,
@@ -75,17 +84,21 @@ func main() {
 			queue:    *queue,
 		}))
 	}
-	os.Exit(serve(*addr, *storeDir, *workers, *queue, *drainTimeout))
+	os.Exit(serve(*addr, *storeDir, *workers, *queue, *drainTimeout, *accessLog))
 }
 
 // serve runs the service until SIGINT/SIGTERM, then drains gracefully.
-func serve(addr, dir string, workers, queue int, drainTimeout time.Duration) int {
+func serve(addr, dir string, workers, queue int, drainTimeout time.Duration, accessLog bool) int {
 	st, err := store.Open(dir)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "phased: %v\n", err)
 		return 1
 	}
-	srv := service.New(service.Config{Store: st, Workers: workers, Queue: queue})
+	cfg := service.Config{Store: st, Workers: workers, Queue: queue}
+	if accessLog {
+		cfg.AccessLog = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	srv := service.New(cfg)
 	hs := &http.Server{Addr: addr, Handler: srv.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -93,6 +106,7 @@ func serve(addr, dir string, workers, queue int, drainTimeout time.Duration) int
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "phased: %s\n", service.Build())
 	fmt.Fprintf(os.Stderr, "phased: serving on %s (store %s)\n", addr, dir)
 
 	select {
@@ -266,6 +280,7 @@ func runStress(cfg stressConfig) int {
 	report.SetRun(servtest.Run{
 		Label:     cfg.label,
 		Go:        runtime.Version(),
+		Build:     service.Build().String(),
 		Workers:   workers,
 		Queue:     queue,
 		Scenarios: results,

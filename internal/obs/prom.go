@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4), so the same /metrics endpoint that serves the
+// JSON snapshot can be scraped directly. Mapping:
+//
+//   - Metric names are sanitized to the Prometheus grammar: every rune
+//     outside [a-zA-Z0-9_:] becomes '_' (dots in the registry's dotted
+//     names included), and a leading digit gains a '_' prefix.
+//   - Counters gain the conventional _total suffix.
+//   - Gauges map 1:1.
+//   - The log2 histograms render as Prometheus histograms: cumulative
+//     _bucket{le="..."} series (the registry stores per-bucket counts;
+//     cumulation happens here), a closing le="+Inf" bucket, _sum, and
+//     _count. Values are whatever unit the histogram observed
+//     (nanoseconds for the latency families).
+//   - Span stage aggregates render as four families labelled by stage:
+//     stage_count / stage_total_ns (counters), stage_min_ns /
+//     stage_max_ns (gauges).
+//
+// Snapshots are already sorted by name, so the exposition is
+// deterministic for a quiescent registry.
+func (s *Snap) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	for _, c := range s.Counters {
+		name := promName(c.Name) + "_total"
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", name, name, c.Value)
+	}
+	for _, g := range s.Gauges {
+		name := promName(g.Name)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n", name, name, g.Value)
+	}
+	for _, h := range s.Histograms {
+		name := promName(h.Name)
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", name)
+		cum := uint64(0)
+		for _, bk := range h.Buckets {
+			cum += bk.Count
+			fmt.Fprintf(&b, "%s_bucket{le=\"%d\"} %d\n", name, bk.Le, cum)
+		}
+		// A snapshot taken mid-traffic can catch a bucket increment before
+		// the count increment; keep +Inf monotone regardless.
+		inf := h.Count
+		if cum > inf {
+			inf = cum
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", name, inf)
+		fmt.Fprintf(&b, "%s_sum %d\n%s_count %d\n", name, h.Sum, name, inf)
+	}
+	if len(s.Stages) > 0 {
+		fmt.Fprintf(&b, "# TYPE stage_count counter\n")
+		for _, st := range s.Stages {
+			fmt.Fprintf(&b, "stage_count{stage=%q} %d\n", st.Name, st.Count)
+		}
+		fmt.Fprintf(&b, "# TYPE stage_total_ns counter\n")
+		for _, st := range s.Stages {
+			fmt.Fprintf(&b, "stage_total_ns{stage=%q} %d\n", st.Name, st.TotalNS)
+		}
+		fmt.Fprintf(&b, "# TYPE stage_min_ns gauge\n")
+		for _, st := range s.Stages {
+			fmt.Fprintf(&b, "stage_min_ns{stage=%q} %d\n", st.Name, st.MinNS)
+		}
+		fmt.Fprintf(&b, "# TYPE stage_max_ns gauge\n")
+		for _, st := range s.Stages {
+			fmt.Fprintf(&b, "stage_max_ns{stage=%q} %d\n", st.Name, st.MaxNS)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// promName sanitizes a dotted registry name into the Prometheus metric
+// name grammar [a-zA-Z_:][a-zA-Z0-9_:]*.
+func promName(name string) string {
+	var sb strings.Builder
+	sb.Grow(len(name) + 1)
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			sb.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				sb.WriteByte('_')
+			}
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	if sb.Len() == 0 {
+		return "_"
+	}
+	return sb.String()
+}

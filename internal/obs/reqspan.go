@@ -1,0 +1,243 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"io"
+	"sync"
+	"time"
+)
+
+// RequestSpan is one node of a request-scoped span tree: where Span feeds
+// the process-global stage aggregates, a RequestSpan additionally keeps
+// its own parent/child structure, tags, and timing, so one request's cost
+// can be attributed stage-by-stage after the fact — the per-request
+// analogue of the paper's per-interval attribution. The tree is carried
+// through the work it describes via context.Context (ContextWithSpan /
+// SpanFromContext), and every completed node still folds its duration
+// into the owning Tracer's stage aggregates, so /metrics keeps seeing the
+// request-scoped stages under their names.
+//
+// All methods are safe on a nil receiver (no-ops returning zero values),
+// so instrumented code can attach children unconditionally: a context
+// without a span simply records nothing.
+//
+// Children may be attached and ended from multiple goroutines (batch
+// items fan out); a single node's End must still be called exactly once
+// by the goroutine that started it.
+type RequestSpan struct {
+	// TraceID and SpanID identify the request for W3C trace-context
+	// propagation (32 and 16 lowercase hex digits). The HTTP layer sets
+	// them once at creation, before the span is shared; children leave
+	// them empty.
+	TraceID string
+	SpanID  string
+
+	tr    *Tracer
+	name  string
+	arg   string
+	start time.Time
+
+	mu       sync.Mutex
+	end      time.Time
+	ended    bool
+	tags     map[string]string
+	children []*RequestSpan
+}
+
+// StartRequest starts a root request span on the tracer. name is the
+// aggregate key ("http.v1.cluster"); arg labels the unit of work (the URL
+// path, the workload) and may be empty.
+func (t *Tracer) StartRequest(name, arg string) *RequestSpan {
+	return &RequestSpan{tr: t, name: name, arg: arg, start: t.now()}
+}
+
+// StartRequest starts a root request span on the default tracer.
+func StartRequest(name, arg string) *RequestSpan {
+	return defaultTracer.StartRequest(name, arg)
+}
+
+// Child starts a sub-span of s, attached to the tree under s. Safe to
+// call from any goroutine, and on a nil s (returns nil).
+func (s *RequestSpan) Child(name, arg string) *RequestSpan {
+	if s == nil {
+		return nil
+	}
+	c := &RequestSpan{tr: s.tr, name: name, arg: arg, start: s.tr.now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// SetTag attaches (or overwrites) one key/value annotation — cache
+// outcomes, error classes. Nil-safe.
+func (s *RequestSpan) SetTag(k, v string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.tags == nil {
+		s.tags = map[string]string{}
+	}
+	s.tags[k] = v
+	s.mu.Unlock()
+}
+
+// Tag reads one annotation ("" when absent). Nil-safe.
+func (s *RequestSpan) Tag(k string) string {
+	if s == nil {
+		return ""
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tags[k]
+}
+
+// Name reports the span's stage name ("" on nil).
+func (s *RequestSpan) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// End stops the span, folds its duration into the tracer's stage
+// aggregates under the span's name, and returns the duration. A second
+// End (and End on nil) is a no-op returning 0.
+func (s *RequestSpan) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return 0
+	}
+	s.ended = true
+	s.end = s.tr.now()
+	d := s.end.Sub(s.start)
+	s.mu.Unlock()
+	s.tr.record(s.name, d)
+	return d
+}
+
+// ReqSpanSnap is one node of a snapshotted request-span tree, the form
+// the debug surface serves and the Chrome-trace exporter consumes. Start
+// offsets are relative to the snapshot root's start.
+type ReqSpanSnap struct {
+	Name     string            `json:"name"`
+	Arg      string            `json:"arg,omitempty"`
+	StartNS  int64             `json:"start_ns"`
+	DurNS    int64             `json:"dur_ns"`
+	Tags     map[string]string `json:"tags,omitempty"`
+	Children []ReqSpanSnap     `json:"children,omitempty"`
+}
+
+// Snapshot copies the tree rooted at s into a plain value. Spans still
+// open (including the root, mid-request) are measured as of now; the
+// snapshot is internally consistent per node, not across nodes while the
+// request is still running. Nil-safe (returns the zero snapshot).
+func (s *RequestSpan) Snapshot() ReqSpanSnap {
+	if s == nil {
+		return ReqSpanSnap{}
+	}
+	return s.snapshot(s.start, s.tr.now())
+}
+
+func (s *RequestSpan) snapshot(epoch, now time.Time) ReqSpanSnap {
+	s.mu.Lock()
+	end := s.end
+	if !s.ended {
+		end = now
+	}
+	snap := ReqSpanSnap{
+		Name:    s.name,
+		Arg:     s.arg,
+		StartNS: s.start.Sub(epoch).Nanoseconds(),
+		DurNS:   end.Sub(s.start).Nanoseconds(),
+	}
+	if len(s.tags) > 0 {
+		snap.Tags = make(map[string]string, len(s.tags))
+		for k, v := range s.tags {
+			snap.Tags[k] = v
+		}
+	}
+	kids := make([]*RequestSpan, len(s.children))
+	copy(kids, s.children)
+	s.mu.Unlock()
+	for _, c := range kids {
+		snap.Children = append(snap.Children, c.snapshot(epoch, now))
+	}
+	return snap
+}
+
+// WriteChromeTrace renders the tree rooted at s as Chrome trace_event
+// JSON by replaying a snapshot into a one-shot capture Tracer and reusing
+// its exporter — the per-request counterpart of Tracer.WriteChromeTrace.
+// Each node becomes a complete event carrying its arg, parent, and tags
+// as args. Nil-safe (writes an empty trace).
+func (s *RequestSpan) WriteChromeTrace(w io.Writer) error {
+	t := NewTracer()
+	if s != nil {
+		var emit func(n ReqSpanSnap, parent string)
+		emit = func(n ReqSpanSnap, parent string) {
+			ev := traceEvent{
+				Name: n.Name,
+				Cat:  "request",
+				Ph:   "X",
+				TS:   n.StartNS / 1e3,
+				Dur:  n.DurNS / 1e3,
+				PID:  1,
+				TID:  1,
+			}
+			args := map[string]string{}
+			if n.Arg != "" {
+				args["arg"] = n.Arg
+			}
+			if parent != "" {
+				args["parent"] = parent
+			}
+			for k, v := range n.Tags {
+				args[k] = v
+			}
+			if len(args) > 0 {
+				ev.Args = args
+			}
+			t.events = append(t.events, ev)
+			for _, c := range n.Children {
+				emit(c, n.Name)
+			}
+		}
+		emit(s.Snapshot(), "")
+	}
+	return t.WriteChromeTrace(w)
+}
+
+// spanCtxKey carries the request span through context.Context.
+type spanCtxKey struct{}
+
+// ContextWithSpan returns a context carrying s; work running under the
+// returned context attaches its sub-spans to s via SpanFromContext.
+func ContextWithSpan(ctx context.Context, s *RequestSpan) context.Context {
+	return context.WithValue(ctx, spanCtxKey{}, s)
+}
+
+// SpanFromContext returns the request span carried by ctx, or nil when
+// the context carries none (every RequestSpan method tolerates nil).
+func SpanFromContext(ctx context.Context) *RequestSpan {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(spanCtxKey{}).(*RequestSpan)
+	return s
+}
+
+// NewID returns n cryptographically random bytes as 2n lowercase hex
+// digits — W3C trace IDs (n=16), span IDs (n=8), request IDs (n=8).
+func NewID(n int) string {
+	b := make([]byte, n)
+	rand.Read(b) // never fails (crypto/rand contract)
+	return hex.EncodeToString(b)
+}

@@ -1,0 +1,45 @@
+package obs
+
+import "sync/atomic"
+
+// Ring is a lock-free, fixed-capacity buffer of the most recently Put
+// values: writers claim a slot with one atomic increment and publish with
+// one atomic pointer store, so recording a finished request never
+// contends with request execution. Readers (the debug surface) snapshot
+// whatever is currently published. Under concurrent writes a reader may
+// observe slots from different "generations" — acceptable for a
+// diagnostic window of recent requests, which is the only intended use.
+type Ring[T any] struct {
+	slots []atomic.Pointer[T]
+	next  atomic.Uint64
+}
+
+// NewRing builds a ring holding the last n values (n < 1 is clamped to 1).
+func NewRing[T any](n int) *Ring[T] {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring[T]{slots: make([]atomic.Pointer[T], n)}
+}
+
+// Cap reports the ring's capacity.
+func (r *Ring[T]) Cap() int { return len(r.slots) }
+
+// Put publishes v into the next slot, overwriting the oldest value once
+// the ring has wrapped. Safe from any goroutine, no locks taken.
+func (r *Ring[T]) Put(v T) {
+	i := (r.next.Add(1) - 1) % uint64(len(r.slots))
+	r.slots[i].Store(&v)
+}
+
+// Snapshot copies the currently published values (at most Cap, in slot
+// order — not insertion order once wrapped).
+func (r *Ring[T]) Snapshot() []T {
+	out := make([]T, 0, len(r.slots))
+	for i := range r.slots {
+		if p := r.slots[i].Load(); p != nil {
+			out = append(out, *p)
+		}
+	}
+	return out
+}

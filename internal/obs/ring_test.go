@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRingBasics(t *testing.T) {
+	r := NewRing[int](4)
+	if r.Cap() != 4 {
+		t.Fatalf("Cap = %d, want 4", r.Cap())
+	}
+	if got := r.Snapshot(); len(got) != 0 {
+		t.Fatalf("empty ring snapshot = %v", got)
+	}
+	r.Put(1)
+	r.Put(2)
+	if got := r.Snapshot(); len(got) != 2 {
+		t.Fatalf("snapshot after 2 puts = %v", got)
+	}
+	// Overflow: the window keeps the most recent Cap() values.
+	for i := 3; i <= 10; i++ {
+		r.Put(i)
+	}
+	got := r.Snapshot()
+	if len(got) != 4 {
+		t.Fatalf("snapshot after overflow = %v", got)
+	}
+	for _, v := range got {
+		if v < 7 || v > 10 {
+			t.Errorf("stale value %d survived the window", v)
+		}
+	}
+}
+
+func TestRingClampsCapacity(t *testing.T) {
+	r := NewRing[string](0)
+	if r.Cap() != 1 {
+		t.Fatalf("Cap = %d, want clamp to 1", r.Cap())
+	}
+	r.Put("a")
+	r.Put("b")
+	if got := r.Snapshot(); len(got) != 1 || got[0] != "b" {
+		t.Fatalf("snapshot = %v, want [b]", got)
+	}
+}
+
+// TestRingConcurrent hammers Put and Snapshot from many goroutines (run
+// under -race in CI): no torn values, and the snapshot stays within the
+// window.
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing[int](8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Put(g*1000 + i)
+				if i%64 == 0 {
+					if got := r.Snapshot(); len(got) > r.Cap() {
+						t.Errorf("snapshot of %d values exceeds window %d", len(got), r.Cap())
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	got := r.Snapshot()
+	if len(got) != 8 {
+		t.Fatalf("final snapshot has %d values, want 8", len(got))
+	}
+	for _, v := range got {
+		if v < 0 || v >= 8000 {
+			t.Errorf("torn value %d", v)
+		}
+	}
+}

@@ -93,6 +93,26 @@ func (s *Span) Name() string { return s.name }
 // Parent reports the parent stage name ("" for a root span).
 func (s *Span) Parent() string { return s.parent }
 
+// record folds one completed span duration into the named stage
+// aggregate. Shared by Span.End and RequestSpan.End.
+func (t *Tracer) record(name string, d time.Duration) {
+	t.mu.Lock()
+	agg := t.stages[name]
+	if agg == nil {
+		agg = &stageAgg{min: d, max: d}
+		t.stages[name] = agg
+	}
+	agg.count++
+	agg.total += d
+	if d < agg.min {
+		agg.min = d
+	}
+	if d > agg.max {
+		agg.max = d
+	}
+	t.mu.Unlock()
+}
+
 // End stops the span, folds its duration into the stage aggregate, and
 // (with capture on) records a trace event. It returns the duration.
 // A second End is a no-op.
@@ -105,20 +125,8 @@ func (s *Span) End() time.Duration {
 	d := end.Sub(s.start)
 
 	t := s.tr
+	t.record(s.name, d)
 	t.mu.Lock()
-	agg := t.stages[s.name]
-	if agg == nil {
-		agg = &stageAgg{min: d, max: d}
-		t.stages[s.name] = agg
-	}
-	agg.count++
-	agg.total += d
-	if d < agg.min {
-		agg.min = d
-	}
-	if d > agg.max {
-		agg.max = d
-	}
 	if t.capture {
 		ev := traceEvent{
 			Name: s.name,

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"sync/atomic"
 	"time"
@@ -8,6 +9,12 @@ import (
 	"phasemark/internal/obs"
 	"phasemark/internal/par"
 )
+
+// SpanQueue names the queue-wait child span Gate.Do attaches to the
+// request span carried by its context: admission to execution-slot
+// acquisition. Alongside store.Span*, it is one of the sequential
+// root-level phases of a dispatched request.
+const SpanQueue = "req.queue"
 
 // Admission metrics. Queue wait is measured from admission until an
 // execution slot frees up; exec is the handler's compute (store lookup
@@ -70,9 +77,11 @@ func NewGate(workers, queue int) *Gate {
 
 // Do admits fn through the gate and runs it on the caller's goroutine:
 // reject if draining, reject if the queue is full, otherwise wait for an
-// execution slot (recording queue wait) and run (recording exec time).
-// The returned error is ErrDraining, ErrSaturated, or fn's own error.
-func (g *Gate) Do(fn func() error) error {
+// execution slot (recording queue wait, as a metric and — when ctx
+// carries a request span — a SpanQueue child span) and run (recording
+// exec time). The returned error is ErrDraining, ErrSaturated, or fn's
+// own error.
+func (g *Gate) Do(ctx context.Context, fn func() error) error {
 	if g.draining.Load() {
 		obsRejectedDrain.Inc()
 		return ErrDraining
@@ -87,10 +96,12 @@ func (g *Gate) Do(fn func() error) error {
 
 	obsAdmitted.Inc()
 	obsQueued.Add(1)
+	qsp := obs.SpanFromContext(ctx).Child(SpanQueue, "")
 	enqueued := time.Now()
 	g.slots <- struct{}{}
 	defer func() { <-g.slots }()
 	start := time.Now()
+	qsp.End()
 	gateObs.QueueWait(start.Sub(enqueued))
 	obsQueued.Add(-1)
 	obsInflight.Add(1)

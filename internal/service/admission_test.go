@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -29,7 +30,7 @@ func TestGateBoundsAndRejects(t *testing.T) {
 	done := make(chan error, 3)
 	for i := 0; i < 3; i++ {
 		go func() {
-			done <- g.Do(func() error {
+			done <- g.Do(context.Background(), func() error {
 				running <- struct{}{}
 				<-block
 				return nil
@@ -47,7 +48,7 @@ func TestGateBoundsAndRejects(t *testing.T) {
 	waitFull(t, g)
 
 	// The gate is now full: the fourth caller is shed immediately.
-	if err := g.Do(func() error { return nil }); err != ErrSaturated {
+	if err := g.Do(context.Background(), func() error { return nil }); err != ErrSaturated {
 		t.Fatalf("overflow Do = %v, want ErrSaturated", err)
 	}
 
@@ -59,7 +60,7 @@ func TestGateBoundsAndRejects(t *testing.T) {
 	}
 
 	// Capacity frees up again after completion.
-	if err := g.Do(func() error { return nil }); err != nil {
+	if err := g.Do(context.Background(), func() error { return nil }); err != nil {
 		t.Fatalf("post-completion Do = %v", err)
 	}
 
@@ -68,7 +69,7 @@ func TestGateBoundsAndRejects(t *testing.T) {
 	if !g.Draining() {
 		t.Error("Draining() = false after StartDrain")
 	}
-	if err := g.Do(func() error { return nil }); err != ErrDraining {
+	if err := g.Do(context.Background(), func() error { return nil }); err != ErrDraining {
 		t.Fatalf("draining Do = %v, want ErrDraining", err)
 	}
 }
@@ -78,10 +79,10 @@ func TestGateClampsDegenerateBounds(t *testing.T) {
 	block := make(chan struct{})
 	started := make(chan struct{})
 	errc := make(chan error, 1)
-	go func() { errc <- g.Do(func() error { close(started); <-block; return nil }) }()
+	go func() { errc <- g.Do(context.Background(), func() error { close(started); <-block; return nil }) }()
 	<-started
 	waitFull(t, g)
-	if err := g.Do(func() error { return nil }); err != ErrSaturated {
+	if err := g.Do(context.Background(), func() error { return nil }); err != ErrSaturated {
 		t.Fatalf("second Do on a 1/0 gate = %v, want ErrSaturated", err)
 	}
 	close(block)
@@ -95,7 +96,7 @@ func TestGateClampsDegenerateBounds(t *testing.T) {
 func TestGatePropagatesErrors(t *testing.T) {
 	g := NewGate(1, 0)
 	want := fmt.Errorf("compute exploded")
-	if err := g.Do(func() error { return want }); err != want {
+	if err := g.Do(context.Background(), func() error { return want }); err != want {
 		t.Fatalf("Do = %v, want %v", err, want)
 	}
 }
@@ -106,7 +107,7 @@ func TestConfigDefaults(t *testing.T) {
 		cfg                  Config
 		wantMinW, wantQueues int
 	}{
-		{Config{Workers: 3}, 3, 12},         // queue defaults to 4×workers
+		{Config{Workers: 3}, 3, 12}, // queue defaults to 4×workers
 		{Config{Workers: 2, Queue: 5}, 2, 5},
 		{Config{Workers: 1, Queue: -1}, 1, 0}, // negative queue means none
 	}

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"fmt"
 
 	"phasemark/internal/core"
@@ -11,6 +12,20 @@ import (
 	"phasemark/internal/trace"
 	"phasemark/internal/uarch"
 	"phasemark/internal/workloads"
+)
+
+// Request-scoped span names for the pipeline stages. Every stage access
+// — cached or not — gets a span tagged "cache" with the memo outcome
+// (hit | computed | joined), so a request's trace shows both where time
+// went and why (a 200µs pipeline.trace with cache=hit is a memo lookup;
+// the same span with cache=computed is a full interpreter run). Exported
+// alongside store.Span* so telemetry consumers name stages consistently.
+const (
+	SpanProg    = "pipeline.prog"
+	SpanGraph   = "pipeline.graph"
+	SpanMarkers = "pipeline.markers"
+	SpanTrace   = "pipeline.trace"
+	SpanCluster = "pipeline.cluster"
 )
 
 // Response schema tags. These version the response layout independently of
@@ -238,17 +253,30 @@ type Pipeline struct {
 // NewPipeline builds an empty pipeline cache.
 func NewPipeline() *Pipeline { return &Pipeline{} }
 
+// stage wraps one memoized stage access in a request-scoped span tagged
+// with its cache outcome. The compute closure runs (on the flight
+// leader's goroutine only) under a context whose span is the stage span,
+// so dependency stages nest beneath it in that request's tree.
+func stage[K comparable, V any](ctx context.Context, m *store.Memo[K, V], name, arg string, k K,
+	compute func(context.Context) (V, error)) (V, error) {
+	sp := obs.SpanFromContext(ctx).Child(name, arg)
+	cctx := obs.ContextWithSpan(ctx, sp)
+	v, out, err := m.DoOutcome(k, func() (V, error) { return compute(cctx) })
+	sp.SetTag("cache", out.String())
+	sp.End()
+	return v, err
+}
+
 // prog compiles (memoized) the named workload.
-func (p *Pipeline) prog(name string) (*workloads.Workload, *minivm.Program, error) {
+func (p *Pipeline) prog(ctx context.Context, name string) (*workloads.Workload, *minivm.Program, error) {
 	w, err := workloads.ByName(name)
 	if err != nil {
 		return nil, nil, reqErrf("unknown workload %q", name)
 	}
-	prog, err := p.progs.Do(name, func() (*minivm.Program, error) {
-		sp := obs.StartSpan("service.compile", name)
-		defer sp.End()
-		return w.Compile(false)
-	})
+	prog, err := stage(ctx, &p.progs, SpanProg, name, name,
+		func(context.Context) (*minivm.Program, error) {
+			return w.Compile(false)
+		})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -256,70 +284,67 @@ func (p *Pipeline) prog(name string) (*workloads.Workload, *minivm.Program, erro
 }
 
 // Graph profiles (memoized) the workload on the named input.
-func (p *Pipeline) Graph(workload, input string) (*core.Graph, error) {
-	w, prog, err := p.prog(workload)
+func (p *Pipeline) Graph(ctx context.Context, workload, input string) (*core.Graph, error) {
+	w, prog, err := p.prog(ctx, workload)
 	if err != nil {
 		return nil, err
 	}
-	return p.graphs.Do(graphKey{workload, input}, func() (*core.Graph, error) {
-		sp := obs.StartSpan("service.profile", workload+"/"+input)
-		defer sp.End()
-		args := w.Train
-		if input == InputRef {
-			args = w.Ref
-		}
-		g, err := core.ProfileRun(prog, args...)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", workload, err)
-		}
-		return g, nil
-	})
+	return stage(ctx, &p.graphs, SpanGraph, workload+"/"+input, graphKey{workload, input},
+		func(context.Context) (*core.Graph, error) {
+			args := w.Train
+			if input == InputRef {
+				args = w.Ref
+			}
+			g, err := core.ProfileRun(prog, args...)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", workload, err)
+			}
+			return g, nil
+		})
 }
 
 // Markers selects (memoized) the marker set for a canonical request.
-func (p *Pipeline) Markers(req SelectRequest) (*core.MarkerSet, error) {
-	return p.sets.Do(req.Key(), func() (*core.MarkerSet, error) {
-		g, err := p.Graph(req.Workload, req.Input)
-		if err != nil {
-			return nil, err
-		}
-		sp := obs.StartSpan("service.select", req.Workload)
-		defer sp.End()
-		return core.SelectMarkers(g, req.Options.SelectOptions()), nil
-	})
+func (p *Pipeline) Markers(ctx context.Context, req SelectRequest) (*core.MarkerSet, error) {
+	return stage(ctx, &p.sets, SpanMarkers, req.Workload, req.Key(),
+		func(cctx context.Context) (*core.MarkerSet, error) {
+			g, err := p.Graph(cctx, req.Workload, req.Input)
+			if err != nil {
+				return nil, err
+			}
+			return core.SelectMarkers(g, req.Options.SelectOptions()), nil
+		})
 }
 
 // Trace runs (memoized) the segmented ref execution for a canonical
 // request.
-func (p *Pipeline) Trace(req SegmentRequest) (*trace.Result, error) {
-	return p.traces.Do(req.Key(), func() (*trace.Result, error) {
-		w, prog, err := p.prog(req.Workload)
-		if err != nil {
-			return nil, err
-		}
-		cfg := trace.Config{Prog: prog, Args: w.Ref, CPU: uarch.DefaultConfig()}
-		if req.FixedLen > 0 {
-			cfg.FixedLen = req.FixedLen
-		} else {
-			set, err := p.Markers(*req.Select)
+func (p *Pipeline) Trace(ctx context.Context, req SegmentRequest) (*trace.Result, error) {
+	return stage(ctx, &p.traces, SpanTrace, req.Workload, req.Key(),
+		func(cctx context.Context) (*trace.Result, error) {
+			w, prog, err := p.prog(cctx, req.Workload)
 			if err != nil {
 				return nil, err
 			}
-			cfg.Markers = set
-		}
-		sp := obs.StartSpan("service.segment", req.Workload)
-		defer sp.End()
-		res, err := trace.Run(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", req.Workload, err)
-		}
-		return res, nil
-	})
+			cfg := trace.Config{Prog: prog, Args: w.Ref, CPU: uarch.DefaultConfig()}
+			if req.FixedLen > 0 {
+				cfg.FixedLen = req.FixedLen
+			} else {
+				set, err := p.Markers(cctx, *req.Select)
+				if err != nil {
+					return nil, err
+				}
+				cfg.Markers = set
+			}
+			res, err := trace.Run(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", req.Workload, err)
+			}
+			return res, nil
+		})
 }
 
 // Profile computes the response bytes for a canonical profile request.
-func (p *Pipeline) Profile(req ProfileRequest) ([]byte, error) {
-	g, err := p.Graph(req.Workload, req.Input)
+func (p *Pipeline) Profile(ctx context.Context, req ProfileRequest) ([]byte, error) {
+	g, err := p.Graph(ctx, req.Workload, req.Input)
 	if err != nil {
 		return nil, err
 	}
@@ -327,8 +352,8 @@ func (p *Pipeline) Profile(req ProfileRequest) ([]byte, error) {
 }
 
 // Select computes the response bytes for a canonical select request.
-func (p *Pipeline) Select(req SelectRequest) ([]byte, error) {
-	set, err := p.Markers(req)
+func (p *Pipeline) Select(ctx context.Context, req SelectRequest) ([]byte, error) {
+	set, err := p.Markers(ctx, req)
 	if err != nil {
 		return nil, err
 	}
@@ -336,8 +361,8 @@ func (p *Pipeline) Select(req SelectRequest) ([]byte, error) {
 }
 
 // Segment computes the response bytes for a canonical segment request.
-func (p *Pipeline) Segment(req SegmentRequest) ([]byte, error) {
-	res, err := p.Trace(req)
+func (p *Pipeline) Segment(ctx context.Context, req SegmentRequest) ([]byte, error) {
+	res, err := p.Trace(ctx, req)
 	if err != nil {
 		return nil, err
 	}
@@ -345,12 +370,15 @@ func (p *Pipeline) Segment(req SegmentRequest) ([]byte, error) {
 }
 
 // Cluster computes the response bytes for a canonical cluster request.
-func (p *Pipeline) Cluster(req ClusterRequest) ([]byte, error) {
-	res, err := p.Trace(req.Segment)
+// Clustering itself is not memoized (it is cheap next to the trace it
+// consumes), so its span is always cache=computed.
+func (p *Pipeline) Cluster(ctx context.Context, req ClusterRequest) ([]byte, error) {
+	res, err := p.Trace(ctx, req.Segment)
 	if err != nil {
 		return nil, err
 	}
-	sp := obs.StartSpan("service.cluster", req.Segment.Workload)
+	sp := obs.SpanFromContext(ctx).Child(SpanCluster, req.Segment.Workload)
+	sp.SetTag("cache", store.Computed.String())
 	c := simpoint.Classify(res, ClusterOptions(req))
 	sp.End()
 	return Encode(NewClusterResponse(req, res, c)), nil

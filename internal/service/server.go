@@ -1,12 +1,15 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 
 	"phasemark/internal/obs"
 	"phasemark/internal/par"
@@ -36,6 +39,11 @@ type Config struct {
 	// Queue bounds requests waiting for an execution slot (default
 	// 4×Workers). Work beyond Workers+Queue is rejected with 429.
 	Queue int
+	// AccessLog, when non-nil, receives one structured entry per request
+	// (request ID, trace ID, route, status, bytes, stage breakdown).
+	AccessLog *slog.Logger
+	// SlowWindow bounds the /debug/slowest capture ring (default 64).
+	SlowWindow int
 }
 
 func (c Config) workers() int {
@@ -55,6 +63,13 @@ func (c Config) queue() int {
 	return c.Queue
 }
 
+func (c Config) slowWindow() int {
+	if c.SlowWindow < 1 {
+		return 64
+	}
+	return c.SlowWindow
+}
+
 // Server is the phased HTTP service: the four pipeline endpoints plus
 // batch, health, and metrics, over one artifact store and one admission
 // gate. Construct with New, mount Handler on an http.Server, and call
@@ -64,6 +79,7 @@ type Server struct {
 	pl   *Pipeline
 	gate *Gate
 	mux  *http.ServeMux
+	slow *obs.Ring[SlowRequest]
 }
 
 // New builds a Server over its artifact store.
@@ -76,14 +92,23 @@ func New(cfg Config) *Server {
 		pl:   NewPipeline(),
 		gate: NewGate(cfg.workers(), cfg.queue()),
 		mux:  http.NewServeMux(),
+		slow: obs.NewRing[SlowRequest](cfg.slowWindow()),
 	}
-	s.mux.HandleFunc(EndpointProfile, s.handleProfile)
-	s.mux.HandleFunc(EndpointSelect, s.handleSelect)
-	s.mux.HandleFunc(EndpointSegment, s.handleSegment)
-	s.mux.HandleFunc(EndpointCluster, s.handleCluster)
-	s.mux.HandleFunc(EndpointBatch, s.handleBatch)
-	s.mux.HandleFunc("/healthz", s.handleHealthz)
-	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	// Every route goes through the instrument wrapper (root span, request
+	// ID, traceparent, RED metrics); only the pipeline routes feed the
+	// slow-request ring.
+	route := func(path string, track bool, h http.HandlerFunc) {
+		s.mux.HandleFunc(path, s.instrument(path, track, h))
+	}
+	route(EndpointProfile, true, s.handleProfile)
+	route(EndpointSelect, true, s.handleSelect)
+	route(EndpointSegment, true, s.handleSegment)
+	route(EndpointCluster, true, s.handleCluster)
+	route(EndpointBatch, true, s.handleBatch)
+	route("/healthz", false, s.handleHealthz)
+	route("/metrics", false, s.handleMetrics)
+	route("/debug/", false, s.handleDebug)
+	route("/debug/slowest", false, s.handleDebugSlowest)
 	return s
 }
 
@@ -114,11 +139,12 @@ type result struct {
 }
 
 // dispatch executes one API call: decode+canonicalize, admit through the
-// gate, then serve from the store or compute once.
-func dispatch[T any](s *Server, body io.Reader,
+// gate, then serve from the store or compute once. ctx carries the request
+// span; the gate and store attach their phases to it as child spans.
+func dispatch[T any](s *Server, ctx context.Context, body io.Reader,
 	decode func(io.Reader) (T, error),
 	key func(T) store.Key,
-	compute func(T) ([]byte, error),
+	compute func(context.Context, T) ([]byte, error),
 ) result {
 	req, err := decode(body)
 	if err != nil {
@@ -127,10 +153,10 @@ func dispatch[T any](s *Server, body io.Reader,
 	k := key(req)
 	var data []byte
 	var outcome store.Outcome
-	err = s.gate.Do(func() error {
+	err = s.gate.Do(ctx, func() error {
 		var cerr error
-		data, outcome, cerr = s.cfg.Store.GetOrCompute(k, func() ([]byte, error) {
-			return compute(req)
+		data, outcome, cerr = s.cfg.Store.GetOrComputeCtx(ctx, k, func(cctx context.Context) ([]byte, error) {
+			return compute(cctx, req)
 		})
 		return cerr
 	})
@@ -177,6 +203,43 @@ func errorBody(err error) []byte {
 	return Encode(map[string]string{"error": err.Error()})
 }
 
+// finish closes out one single-endpoint dispatch: it tags the root
+// request span with the cache outcome, exposes the per-stage breakdown as
+// a Server-Timing header, and — when the client asked with ?trace=1 —
+// replaces the artifact body with the request's Chrome trace. Everything
+// else falls through to write.
+func (s *Server) finish(w http.ResponseWriter, r *http.Request, res result) {
+	sp := obs.SpanFromContext(r.Context())
+	if sp != nil {
+		if res.cache != "" {
+			sp.SetTag("cache", res.cache)
+		}
+		if res.err != nil {
+			sp.SetTag("error", res.err.Error())
+		}
+		durs := map[string]int64{}
+		stageDurations(sp.Snapshot().Children, durs)
+		if len(durs) > 0 {
+			w.Header().Set("Server-Timing", serverTiming(durs))
+		}
+		if res.err == nil && r.URL.Query().Get("trace") == "1" {
+			h := w.Header()
+			h.Set("Content-Type", "application/json")
+			h.Set("X-Phased-Trace", "1")
+			if res.key != "" {
+				h.Set("X-Phased-Key", res.key)
+			}
+			h.Set("X-Phased-Cache", res.cache)
+			countStatus(http.StatusOK)
+			// The root span is still open; its snapshot is measured as of
+			// now, children are final.
+			_ = sp.WriteChromeTrace(w)
+			return
+		}
+	}
+	write(w, res)
+}
+
 // write emits one dispatch result over HTTP.
 func write(w http.ResponseWriter, res result) {
 	code := status(res.err)
@@ -216,7 +279,7 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	obsReqProfile.Inc()
-	write(w, dispatch(s, r.Body, DecodeProfileRequest, ProfileRequest.Key, s.pl.Profile))
+	s.finish(w, r, dispatch(s, r.Context(), r.Body, DecodeProfileRequest, ProfileRequest.Key, s.pl.Profile))
 }
 
 func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
@@ -224,7 +287,7 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	obsReqSelect.Inc()
-	write(w, dispatch(s, r.Body, DecodeSelectRequest, SelectRequest.Key, s.pl.Select))
+	s.finish(w, r, dispatch(s, r.Context(), r.Body, DecodeSelectRequest, SelectRequest.Key, s.pl.Select))
 }
 
 func (s *Server) handleSegment(w http.ResponseWriter, r *http.Request) {
@@ -232,7 +295,7 @@ func (s *Server) handleSegment(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	obsReqSegment.Inc()
-	write(w, dispatch(s, r.Body, DecodeSegmentRequest, SegmentRequest.Key, s.pl.Segment))
+	s.finish(w, r, dispatch(s, r.Context(), r.Body, DecodeSegmentRequest, SegmentRequest.Key, s.pl.Segment))
 }
 
 func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
@@ -240,7 +303,7 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	obsReqCluster.Inc()
-	write(w, dispatch(s, r.Body, DecodeClusterRequest, ClusterRequest.Key, s.pl.Cluster))
+	s.finish(w, r, dispatch(s, r.Context(), r.Body, DecodeClusterRequest, ClusterRequest.Key, s.pl.Cluster))
 }
 
 // BatchRequest fans a set of API calls through the service in one HTTP
@@ -294,8 +357,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	results := make([]BatchResult, len(req.Requests))
+	ctx := r.Context()
 	par.ForEach(len(req.Requests), s.cfg.workers(), nil, func(_, i int) {
-		results[i] = s.batchItem(req.Requests[i])
+		results[i] = s.batchItem(ctx, req.Requests[i])
 	})
 	resp := &BatchResponse{Schema: SchemaBatch, Results: results}
 	countStatus(http.StatusOK)
@@ -304,21 +368,27 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 // batchItem dispatches one batch entry through the same path as its
-// standalone endpoint.
-func (s *Server) batchItem(item BatchItem) BatchResult {
+// standalone endpoint, under a per-item child span of the batch request.
+func (s *Server) batchItem(ctx context.Context, item BatchItem) BatchResult {
+	isp := obs.SpanFromContext(ctx).Child("batch.item", item.Endpoint)
+	ictx := obs.ContextWithSpan(ctx, isp)
 	var res result
 	switch item.Endpoint {
 	case EndpointProfile:
-		res = dispatch(s, bytesReader(item.Body), DecodeProfileRequest, ProfileRequest.Key, s.pl.Profile)
+		res = dispatch(s, ictx, bytesReader(item.Body), DecodeProfileRequest, ProfileRequest.Key, s.pl.Profile)
 	case EndpointSelect:
-		res = dispatch(s, bytesReader(item.Body), DecodeSelectRequest, SelectRequest.Key, s.pl.Select)
+		res = dispatch(s, ictx, bytesReader(item.Body), DecodeSelectRequest, SelectRequest.Key, s.pl.Select)
 	case EndpointSegment:
-		res = dispatch(s, bytesReader(item.Body), DecodeSegmentRequest, SegmentRequest.Key, s.pl.Segment)
+		res = dispatch(s, ictx, bytesReader(item.Body), DecodeSegmentRequest, SegmentRequest.Key, s.pl.Segment)
 	case EndpointCluster:
-		res = dispatch(s, bytesReader(item.Body), DecodeClusterRequest, ClusterRequest.Key, s.pl.Cluster)
+		res = dispatch(s, ictx, bytesReader(item.Body), DecodeClusterRequest, ClusterRequest.Key, s.pl.Cluster)
 	default:
 		res = result{err: reqErrf("unknown batch endpoint %q", item.Endpoint)}
 	}
+	if res.cache != "" {
+		isp.SetTag("cache", res.cache)
+	}
+	isp.End()
 	out := BatchResult{Status: status(res.err), Cache: res.cache, Key: res.key}
 	if res.err != nil {
 		out.Body = errorBody(res.err)
@@ -345,6 +415,14 @@ func (r *byteReader) Read(p []byte) (int, error) {
 	return n, nil
 }
 
+// healthResponse is the /healthz payload: liveness plus the build stamp,
+// so a fleet scrape identifies which binary answers.
+type healthResponse struct {
+	Status string    `json:"status"`
+	Store  string    `json:"store,omitempty"`
+	Build  BuildInfo `json:"build"`
+}
+
 // handleHealthz reports liveness: 200 while serving, 503 while draining
 // (so orchestrators stop routing before shutdown completes).
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -352,20 +430,46 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.Draining() {
 		countStatus(http.StatusServiceUnavailable)
 		w.WriteHeader(http.StatusServiceUnavailable)
-		w.Write(Encode(map[string]string{"status": "draining"}))
+		w.Write(Encode(healthResponse{Status: "draining", Build: Build()}))
 		return
 	}
 	countStatus(http.StatusOK)
-	w.Write(Encode(map[string]string{"status": "ok", "store": s.cfg.Store.Dir()}))
+	w.Write(Encode(healthResponse{Status: "ok", Store: s.cfg.Store.Dir(), Build: Build()}))
 }
 
-// handleMetrics serves a JSON snapshot of the internal/obs registry —
-// counters (store + cell + admission + pipeline), gauges, histograms, and
-// per-stage span aggregates.
+// promContentType is the Prometheus text exposition content type.
+const promContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// wantsPrometheus decides the /metrics representation: an explicit
+// ?format= wins (prometheus|prom|text vs json); otherwise an Accept header
+// naming text/plain or openmetrics selects the exposition format, and the
+// default stays JSON for existing tooling.
+func wantsPrometheus(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prometheus", "prom", "text":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") || strings.Contains(accept, "openmetrics")
+}
+
+// handleMetrics serves a snapshot of the internal/obs registry — counters
+// (store + cell + admission + pipeline + per-route RED), gauges,
+// histograms, and per-stage span aggregates — as indented JSON by default
+// or in the Prometheus text exposition format under content negotiation
+// (see wantsPrometheus).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
+	snap := obs.Snapshot()
 	countStatus(http.StatusOK)
-	// A write error here means the scraper hung up mid-snapshot; there is
+	// A write error below means the scraper hung up mid-snapshot; there is
 	// no response left to salvage.
-	_ = obs.WriteMetrics(w)
+	if wantsPrometheus(r) {
+		w.Header().Set("Content-Type", promContentType)
+		_ = snap.WritePrometheus(w)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = snap.WriteJSON(w)
 }

@@ -1,0 +1,65 @@
+package service
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+)
+
+// BuildInfo identifies the running binary: module version, Go toolchain,
+// and (when built inside a git checkout) the VCS revision. It is embedded
+// in the /healthz payload and printed by `phased -version`, so a scrape or
+// a log line always says which build produced it.
+type BuildInfo struct {
+	Version  string `json:"version"`
+	Go       string `json:"go,omitempty"`
+	Revision string `json:"revision,omitempty"`
+	Modified bool   `json:"modified,omitempty"`
+}
+
+var (
+	buildOnce sync.Once
+	buildInfo BuildInfo
+)
+
+// Build reads the binary's build information once (runtime/debug's
+// ReadBuildInfo walks the embedded module data) and caches it for every
+// later caller.
+func Build() BuildInfo {
+	buildOnce.Do(func() {
+		buildInfo = BuildInfo{Version: "(devel)"}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		if bi.Main.Version != "" {
+			buildInfo.Version = bi.Main.Version
+		}
+		buildInfo.Go = bi.GoVersion
+		for _, kv := range bi.Settings {
+			switch kv.Key {
+			case "vcs.revision":
+				buildInfo.Revision = kv.Value
+			case "vcs.modified":
+				buildInfo.Modified = kv.Value == "true"
+			}
+		}
+	})
+	return buildInfo
+}
+
+// String renders the build info as a one-line stamp.
+func (b BuildInfo) String() string {
+	s := fmt.Sprintf("phased %s (%s)", b.Version, b.Go)
+	if b.Revision != "" {
+		rev := b.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		s += " rev " + rev
+		if b.Modified {
+			s += "+dirty"
+		}
+	}
+	return s
+}

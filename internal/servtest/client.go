@@ -6,9 +6,13 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"phasemark/internal/par"
+	"phasemark/internal/service"
+	"phasemark/internal/store"
 )
 
 // Scenario is one stress pattern: n requests of the given mix fired at a
@@ -47,9 +51,54 @@ type CacheCounts struct {
 type LatencySummary struct {
 	P50NS int64 `json:"p50_ns"`
 	P90NS int64 `json:"p90_ns"`
+	P95NS int64 `json:"p95_ns"`
 	P99NS int64 `json:"p99_ns"`
 	MaxNS int64 `json:"max_ns"`
 }
+
+// summarize condenses a sorted latency sample into the summary.
+func summarize(sorted []int64) LatencySummary {
+	if len(sorted) == 0 {
+		return LatencySummary{}
+	}
+	return LatencySummary{
+		P50NS: percentile(sorted, 0.50),
+		P90NS: percentile(sorted, 0.90),
+		P95NS: percentile(sorted, 0.95),
+		P99NS: percentile(sorted, 0.99),
+		MaxNS: sorted[len(sorted)-1],
+	}
+}
+
+// StageLatency is the distribution of one server-side stage's duration
+// across the scenario's successful requests, built from the Server-Timing
+// stage breakdown each response carries.
+type StageLatency struct {
+	Count   int   `json:"count"`
+	P50NS   int64 `json:"p50_ns"`
+	P95NS   int64 `json:"p95_ns"`
+	P99NS   int64 `json:"p99_ns"`
+	MaxNS   int64 `json:"max_ns"`
+	TotalNS int64 `json:"total_ns"`
+}
+
+// TelemetryCheck counts telemetry-consistency violations across the
+// scenario's successful responses: the server-reported root-level stage
+// durations (queue wait plus the store's sequential get/compute/write —
+// or join) must sum to no more than the client-observed wall time, and a
+// cache hit must not carry a compute stage. A violation means the span
+// accounting lies, which Check treats as a failure.
+type TelemetryCheck struct {
+	Checked        int `json:"checked"`
+	MissingTiming  int `json:"missing_timing"`
+	StageOverWall  int `json:"stage_over_wall"`
+	HitWithCompute int `json:"hit_with_compute"`
+}
+
+// rootStages are the sequential root-level phases of one dispatched
+// request; per request their durations are disjoint, so their sum bounds
+// below the client's measured wall time.
+var rootStages = []string{service.SpanQueue, store.SpanGet, store.SpanCompute, store.SpanWrite, store.SpanJoin}
 
 // StoreCounts mirrors the server-side store stats for the scenario
 // (filled by the stress driver, which owns the server; zero when the
@@ -62,18 +111,49 @@ type StoreCounts struct {
 
 // ScenarioResult is one scenario's aggregated outcome.
 type ScenarioResult struct {
-	Name        string         `json:"name"`
-	Workload    string         `json:"workload"`
-	Requests    int            `json:"requests"`
-	Concurrency int            `json:"concurrency"`
-	Mix         Mix            `json:"mix"`
-	ExpectShed  bool           `json:"expect_shed,omitempty"`
-	DurationNS  int64          `json:"duration_ns"`
-	ReqPerSec   float64        `json:"req_per_sec"`
-	Status      StatusCounts   `json:"status"`
-	Cache       CacheCounts    `json:"cache"`
-	Latency     LatencySummary `json:"latency"`
-	Store       StoreCounts    `json:"store"`
+	Name        string                    `json:"name"`
+	Workload    string                    `json:"workload"`
+	Requests    int                       `json:"requests"`
+	Concurrency int                       `json:"concurrency"`
+	Mix         Mix                       `json:"mix"`
+	ExpectShed  bool                      `json:"expect_shed,omitempty"`
+	DurationNS  int64                     `json:"duration_ns"`
+	ReqPerSec   float64                   `json:"req_per_sec"`
+	Status      StatusCounts              `json:"status"`
+	Cache       CacheCounts               `json:"cache"`
+	Latency     LatencySummary            `json:"latency"`
+	Stages      map[string]StageLatency   `json:"stages,omitempty"`
+	Outcome     map[string]LatencySummary `json:"outcome_latency,omitempty"`
+	Telemetry   TelemetryCheck            `json:"telemetry"`
+	Store       StoreCounts               `json:"store"`
+}
+
+// parseServerTiming reads a Server-Timing header into per-stage durations
+// in nanoseconds ("store.get;dur=1.500, req.queue;dur=0.020" — dur is
+// milliseconds on the wire). Returns nil when the header carries nothing.
+func parseServerTiming(h string) map[string]int64 {
+	if h == "" {
+		return nil
+	}
+	out := map[string]int64{}
+	for _, entry := range strings.Split(h, ",") {
+		fields := strings.Split(strings.TrimSpace(entry), ";")
+		name := strings.TrimSpace(fields[0])
+		if name == "" {
+			continue
+		}
+		for _, p := range fields[1:] {
+			if v, ok := strings.CutPrefix(strings.TrimSpace(p), "dur="); ok {
+				if ms, err := strconv.ParseFloat(v, 64); err == nil {
+					out[name] += int64(ms * 1e6)
+				}
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
 }
 
 // percentile returns the p-quantile (0 < p <= 1) of sorted latencies by
@@ -105,6 +185,7 @@ func (s Scenario) Run(baseURL string, client *http.Client) ScenarioResult {
 	codes := make([]int, len(reqs))
 	caches := make([]string, len(reqs))
 	lats := make([]int64, len(reqs))
+	timings := make([]map[string]int64, len(reqs))
 	start := time.Now()
 	par.ForEach(len(reqs), s.Concurrency, nil, func(_, i int) {
 		t0 := time.Now()
@@ -118,6 +199,7 @@ func (s Scenario) Run(baseURL string, client *http.Client) ScenarioResult {
 		resp.Body.Close()
 		codes[i] = resp.StatusCode
 		caches[i] = resp.Header.Get("X-Phased-Cache")
+		timings[i] = parseServerTiming(resp.Header.Get("Server-Timing"))
 	})
 	dur := time.Since(start)
 
@@ -157,13 +239,64 @@ func (s Scenario) Run(baseURL string, client *http.Client) ScenarioResult {
 			res.Status.BadRequest++
 		}
 	}
-	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
-	res.Latency = LatencySummary{
-		P50NS: percentile(lats, 0.50),
-		P90NS: percentile(lats, 0.90),
-		P99NS: percentile(lats, 0.99),
-		MaxNS: lats[len(lats)-1],
+	// Per-stage and per-outcome splits, plus the telemetry-consistency
+	// audit, over the successful responses (errors carry no breakdown).
+	stageSamples := map[string][]int64{}
+	outcomeLats := map[string][]int64{}
+	for i, code := range codes {
+		if code != http.StatusOK {
+			continue
+		}
+		if c := caches[i]; c != "" {
+			outcomeLats[c] = append(outcomeLats[c], lats[i])
+		}
+		res.Telemetry.Checked++
+		tm := timings[i]
+		if len(tm) == 0 {
+			res.Telemetry.MissingTiming++
+			continue
+		}
+		for name, d := range tm {
+			stageSamples[name] = append(stageSamples[name], d)
+		}
+		var rootSum int64
+		for _, name := range rootStages {
+			rootSum += tm[name]
+		}
+		if rootSum > lats[i] {
+			res.Telemetry.StageOverWall++
+		}
+		if _, computed := tm[store.SpanCompute]; computed && caches[i] == "hit" {
+			res.Telemetry.HitWithCompute++
+		}
 	}
+	if len(stageSamples) > 0 {
+		res.Stages = make(map[string]StageLatency, len(stageSamples))
+		for name, samples := range stageSamples {
+			sort.Slice(samples, func(a, b int) bool { return samples[a] < samples[b] })
+			var total int64
+			for _, d := range samples {
+				total += d
+			}
+			res.Stages[name] = StageLatency{
+				Count:   len(samples),
+				P50NS:   percentile(samples, 0.50),
+				P95NS:   percentile(samples, 0.95),
+				P99NS:   percentile(samples, 0.99),
+				MaxNS:   samples[len(samples)-1],
+				TotalNS: total,
+			}
+		}
+	}
+	if len(outcomeLats) > 0 {
+		res.Outcome = make(map[string]LatencySummary, len(outcomeLats))
+		for o, ls := range outcomeLats {
+			sort.Slice(ls, func(a, b int) bool { return ls[a] < ls[b] })
+			res.Outcome[o] = summarize(ls)
+		}
+	}
+	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+	res.Latency = summarize(lats)
 	return res
 }
 
@@ -193,6 +326,15 @@ func (r ScenarioResult) Check() []string {
 	}
 	if r.ExpectShed && r.Status.Shed == 0 {
 		fail("induced saturation shed nothing")
+	}
+	if r.Telemetry.MissingTiming > 0 {
+		fail("%d OK responses without a Server-Timing stage breakdown", r.Telemetry.MissingTiming)
+	}
+	if r.Telemetry.StageOverWall > 0 {
+		fail("%d responses whose root stage durations exceed the observed wall time", r.Telemetry.StageOverWall)
+	}
+	if r.Telemetry.HitWithCompute > 0 {
+		fail("%d cache hits reporting a compute stage", r.Telemetry.HitWithCompute)
 	}
 	return bad
 }

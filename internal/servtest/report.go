@@ -8,8 +8,14 @@ import (
 )
 
 // Schema identifies the BENCH_service.json record layout. See
-// EXPERIMENTS.md for the field-by-field description.
-const Schema = "phasemark/bench-service/v1"
+// EXPERIMENTS.md for the field-by-field description. v2 added the
+// per-stage latency splits, per-outcome latency, the telemetry
+// consistency counts, and the build stamp.
+const Schema = "phasemark/bench-service/v2"
+
+// schemaV1 is the pre-telemetry layout; a v1 file is superseded rather
+// than merged, since its runs lack the stage and outcome splits.
+const schemaV1 = "phasemark/bench-service/v1"
 
 // Report is the committed service stress record: one run per labelled
 // measurement, each covering every scenario.
@@ -22,6 +28,7 @@ type Report struct {
 type Run struct {
 	Label     string           `json:"label"`
 	Go        string           `json:"go"`
+	Build     string           `json:"build,omitempty"`
 	Workers   int              `json:"workers"`
 	Queue     int              `json:"queue"`
 	Scenarios []ScenarioResult `json:"scenarios"`
@@ -41,6 +48,11 @@ func LoadReport(path string) (*Report, error) {
 	var r Report
 	if err := json.Unmarshal(data, &r); err != nil {
 		return nil, fmt.Errorf("servtest: parsing %s: %w", path, err)
+	}
+	if r.Schema == schemaV1 {
+		// The v1 layout predates the telemetry fields; start a fresh v2
+		// report instead of mixing incomparable runs.
+		return &Report{Schema: Schema}, nil
 	}
 	if r.Schema != Schema {
 		return nil, fmt.Errorf("servtest: %s has schema %q, want %q", path, r.Schema, Schema)

@@ -132,8 +132,45 @@ func TestScenarioRunAgainstLiveServer(t *testing.T) {
 	if res.Latency.MaxNS <= 0 || res.Latency.P50NS > res.Latency.MaxNS {
 		t.Errorf("latency summary inconsistent: %+v", res.Latency)
 	}
+	// The telemetry audit covered every success with zero violations, and
+	// the stage/outcome splits are populated from Server-Timing.
+	if res.Telemetry.Checked != 60 || res.Telemetry.MissingTiming != 0 ||
+		res.Telemetry.StageOverWall != 0 || res.Telemetry.HitWithCompute != 0 {
+		t.Errorf("telemetry audit = %+v, want 60 clean checks", res.Telemetry)
+	}
+	if st, ok := res.Stages["store.get"]; !ok || st.Count == 0 || st.P50NS > st.MaxNS {
+		t.Errorf("stage split missing/inconsistent: %+v", res.Stages)
+	}
+	if _, ok := res.Stages["req.queue"]; !ok {
+		t.Errorf("stage split lacks queue wait: %v", res.Stages)
+	}
+	if hit, ok := res.Outcome["hit"]; !ok || hit.P50NS <= 0 {
+		t.Errorf("outcome latency split missing hits: %+v", res.Outcome)
+	}
 	if bad := res.Check(); len(bad) != 0 {
 		t.Errorf("Check() = %v, want clean", bad)
+	}
+}
+
+func TestParseServerTiming(t *testing.T) {
+	got := parseServerTiming("req.queue;dur=0.250, store.get;dur=1.500, weird;foo=1")
+	if got["req.queue"] != 250_000 || got["store.get"] != 1_500_000 {
+		t.Errorf("parseServerTiming = %v", got)
+	}
+	if _, ok := got["weird"]; ok {
+		t.Error("entry without dur must be dropped")
+	}
+	if parseServerTiming("") != nil {
+		t.Error("empty header must parse to nil")
+	}
+}
+
+func TestCheckFlagsTelemetryViolations(t *testing.T) {
+	r := ScenarioResult{Name: "s", Telemetry: TelemetryCheck{
+		Checked: 10, MissingTiming: 1, StageOverWall: 2, HitWithCompute: 3,
+	}}
+	if bad := r.Check(); len(bad) != 3 {
+		t.Errorf("Check() = %v, want 3 telemetry violations", bad)
 	}
 }
 
@@ -199,6 +236,19 @@ func TestReportRoundTripAndMerge(t *testing.T) {
 	}
 	if _, err := LoadReport(path); err == nil {
 		t.Error("foreign schema loaded silently")
+	}
+
+	// The pre-telemetry v1 layout is superseded: it loads as a fresh v2
+	// report instead of erroring or merging.
+	if err := os.WriteFile(path, []byte(`{"schema":"phasemark/bench-service/v1","runs":[{"label":"old"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	v2, err := LoadReport(path)
+	if err != nil {
+		t.Fatalf("v1 report did not migrate: %v", err)
+	}
+	if v2.Schema != Schema || len(v2.Runs) != 0 {
+		t.Errorf("v1 migration = %+v, want empty v2 report", v2)
 	}
 }
 

@@ -34,6 +34,16 @@ type memoFlight[V any] struct {
 // Do returns the cached value for k, joins an in-flight computation, or
 // runs compute itself.
 func (m *Memo[K, V]) Do(k K, compute func() (V, error)) (V, error) {
+	v, _, err := m.DoOutcome(k, compute)
+	return v, err
+}
+
+// DoOutcome is Do plus the cache outcome, so request-scoped telemetry can
+// tag each memoized pipeline stage the same way the artifact store tags
+// whole responses: Hit (the value was already cached), Joined (waited on
+// another caller's in-flight compute), or Computed (this caller ran
+// compute).
+func (m *Memo[K, V]) DoOutcome(k K, compute func() (V, error)) (V, Outcome, error) {
 	m.mu.Lock()
 	if m.m == nil {
 		m.m = map[K]*memoEntry[V]{}
@@ -46,12 +56,12 @@ func (m *Memo[K, V]) Do(k K, compute func() (V, error)) (V, error) {
 	if e.done {
 		v := e.val
 		m.mu.Unlock()
-		return v, nil
+		return v, Hit, nil
 	}
 	if f := e.inflight; f != nil {
 		m.mu.Unlock()
 		<-f.ch
-		return f.val, f.err
+		return f.val, Joined, f.err
 	}
 	f := &memoFlight[V]{ch: make(chan struct{})}
 	e.inflight = f
@@ -66,7 +76,7 @@ func (m *Memo[K, V]) Do(k K, compute func() (V, error)) (V, error) {
 	e.inflight = nil
 	m.mu.Unlock()
 	close(f.ch)
-	return f.val, f.err
+	return f.val, Computed, f.err
 }
 
 // Len reports how many keys hold a cached value.

@@ -23,6 +23,7 @@
 package store
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
@@ -35,6 +36,18 @@ import (
 	"sync/atomic"
 
 	"phasemark/internal/obs"
+)
+
+// Request-scoped span names GetOrComputeCtx attaches to the caller's
+// obs.RequestSpan (when the context carries one). Get/Compute/Write are
+// the flight leader's sequential phases; Join is a non-leader's wait on
+// an in-flight computation. Exported so telemetry consumers (the stress
+// suite's consistency checks) reference the same strings the store emits.
+const (
+	SpanGet     = "store.get"
+	SpanCompute = "store.compute"
+	SpanWrite   = "store.write"
+	SpanJoin    = "store.join"
 )
 
 // Process-wide store metrics, mirrored from every store's local stats so
@@ -75,6 +88,10 @@ func KeyOf(domain string, canonical []byte) Key {
 
 // String renders the key as lowercase hex.
 func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// Short renders the key's first four bytes as hex — the span/log label
+// form, unambiguous enough for debugging without 64-character names.
+func (k Key) Short() string { return hex.EncodeToString(k[:4]) }
 
 // Outcome reports how GetOrCompute satisfied a request.
 type Outcome int
@@ -204,10 +221,23 @@ func (s *Store) Get(k Key) ([]byte, bool, error) {
 // re-entering the same key from its own producer deadlocks, exactly like
 // the experiments cell it generalizes.
 func (s *Store) GetOrCompute(k Key, compute func() ([]byte, error)) ([]byte, Outcome, error) {
+	return s.GetOrComputeCtx(context.Background(), k,
+		func(context.Context) ([]byte, error) { return compute() })
+}
+
+// GetOrComputeCtx is GetOrCompute with request-scoped telemetry: when ctx
+// carries an obs.RequestSpan, the flight's phases attach to it as child
+// spans (SpanGet / SpanCompute / SpanWrite for the leader, SpanJoin for a
+// joiner), and compute receives a context whose span is the compute span,
+// so pipeline stages chain their own sub-spans under it. The caching and
+// error semantics are exactly GetOrCompute's.
+func (s *Store) GetOrComputeCtx(ctx context.Context, k Key, compute func(context.Context) ([]byte, error)) ([]byte, Outcome, error) {
 	s.mu.Lock()
 	if f := s.inflight[k]; f != nil {
 		s.mu.Unlock()
+		sp := obs.SpanFromContext(ctx).Child(SpanJoin, k.Short())
 		<-f.ch
+		sp.End()
 		if f.err != nil {
 			s.joinErrs.Add(1)
 			obsJoinErrs.Inc()
@@ -221,7 +251,7 @@ func (s *Store) GetOrCompute(k Key, compute func() ([]byte, error)) ([]byte, Out
 	s.inflight[k] = f
 	s.mu.Unlock()
 
-	f.val, f.outcome, f.err = s.lead(k, compute)
+	f.val, f.outcome, f.err = s.lead(ctx, k, compute)
 
 	s.mu.Lock()
 	delete(s.inflight, k)
@@ -230,24 +260,39 @@ func (s *Store) GetOrCompute(k Key, compute func() ([]byte, error)) ([]byte, Out
 	return f.val, f.outcome, f.err
 }
 
-// lead is the flight leader's work: disk check, then compute + persist.
-func (s *Store) lead(k Key, compute func() ([]byte, error)) ([]byte, Outcome, error) {
-	if data, ok, err := s.Get(k); err != nil {
+// lead is the flight leader's work: disk check, then compute + persist,
+// each phase a child span of the request (when ctx carries one).
+func (s *Store) lead(ctx context.Context, k Key, compute func(context.Context) ([]byte, error)) ([]byte, Outcome, error) {
+	parent := obs.SpanFromContext(ctx)
+	gsp := parent.Child(SpanGet, k.Short())
+	data, ok, err := s.Get(k)
+	if err != nil {
+		gsp.End()
 		return nil, Hit, err
-	} else if ok {
+	}
+	if ok {
+		gsp.SetTag("cache", Hit.String())
+		gsp.End()
 		s.diskHits.Add(1)
 		obsDiskHits.Inc()
 		return data, Hit, nil
 	}
+	gsp.SetTag("cache", "miss")
+	gsp.End()
 	s.computes.Add(1)
 	obsComputes.Inc()
-	data, err := compute()
+	csp := parent.Child(SpanCompute, k.Short())
+	data, err = compute(obs.ContextWithSpan(ctx, csp))
+	csp.End()
 	if err != nil {
 		s.computeErrs.Add(1)
 		obsComputeErrs.Inc()
 		return nil, Computed, err
 	}
-	if err := s.put(k, data); err != nil {
+	wsp := parent.Child(SpanWrite, k.Short())
+	err = s.put(k, data)
+	wsp.End()
+	if err != nil {
 		s.writeErrs.Add(1)
 		obsWriteErrs.Inc()
 		return nil, Computed, err
