@@ -14,12 +14,13 @@ import (
 // phasemark/bench-hotpath/v2 report at outPath. stageFilter selects a
 // comma-separated subset of stages (empty = all); naming a stage that
 // does not exist is a usage error (exit 2), matching the -fig
-// convention. An existing run with the same label is updated stage-wise;
-// other runs and unmeasured stages are preserved, so the file
-// accumulates the before/after history of performance work. Progress and
-// per-stage results go to stderr; stdout is untouched.
-func runBench(outPath, label, stageFilter string) error {
-	var stages []hotbench.Stage
+// convention. scale is the trace amplifier applied to the streaming
+// stage (see hotbench.StagesScaled). An existing run with the same label
+// is updated stage-wise; other runs and unmeasured stages are preserved,
+// so the file accumulates the before/after history of performance work.
+// Progress and per-stage results go to stderr; stdout is untouched.
+func runBench(outPath, label, stageFilter string, scale int) error {
+	stages := hotbench.StagesScaled(scale)
 	if stageFilter != "" {
 		var names []string
 		for _, n := range strings.Split(stageFilter, ",") {
@@ -28,7 +29,7 @@ func runBench(outPath, label, stageFilter string) error {
 			}
 		}
 		var err error
-		stages, err = hotbench.StagesNamed(names)
+		stages, err = hotbench.StagesNamed(names, scale)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "spexp: %v\n", err)
 			os.Exit(2)
@@ -56,5 +57,32 @@ func runBench(outPath, label, stageFilter string) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "(hot-path benchmark results written to %s)\n", outPath)
+	if rss, ok := peakRSSKB(); ok {
+		fmt.Fprintf(os.Stderr, "peak-rss-kb: %d\n", rss)
+	}
 	return nil
+}
+
+// peakRSSKB reports the process's high-water resident set size in
+// kilobytes, read from /proc/self/status (Linux only; ok is false
+// elsewhere). CI's memory-bound smoke asserts on this line after running
+// the streaming stage at a large -scale: a bounded pipeline's RSS must
+// not grow with the amplified trace length.
+func peakRSSKB() (int64, bool) {
+	b, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0, false
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		if rest, found := strings.CutPrefix(line, "VmHWM:"); found {
+			f := strings.Fields(rest)
+			if len(f) >= 1 {
+				var kb int64
+				if _, err := fmt.Sscan(f[0], &kb); err == nil {
+					return kb, true
+				}
+			}
+		}
+	}
+	return 0, false
 }

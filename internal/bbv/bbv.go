@@ -29,10 +29,11 @@ func (v Vector) L1() float64 {
 }
 
 // Normalized returns a copy scaled to unit L1 mass (zero vectors are
-// returned as-is).
+// copied unscaled). The copy is deep: it shares no storage with the
+// receiver, so callers may mutate either vector freely.
 func (v Vector) Normalized() Vector {
 	s := v.L1()
-	out := Vector{Idx: v.Idx, Val: make([]float64, len(v.Val))}
+	out := Vector{Idx: slices.Clone(v.Idx), Val: make([]float64, len(v.Val))}
 	if s == 0 {
 		copy(out.Val, v.Val)
 		return out
@@ -152,4 +153,15 @@ func (a *Accumulator) Snapshot() Vector {
 	}
 	a.touched = a.touched[:0]
 	return v
+}
+
+// Rewind reclaims all snapshot storage handed out since the accumulator
+// was created or last rewound. Every Vector previously returned by
+// Snapshot becomes invalid: its entries will be overwritten by future
+// snapshots. Only streaming consumers that have finished with (or deep-
+// copied) their chunk of vectors may call this — see the streaming stage
+// contract in DESIGN.md.
+func (a *Accumulator) Rewind() {
+	a.idxChunk = a.idxChunk[:0]
+	a.valChunk = a.valChunk[:0]
 }

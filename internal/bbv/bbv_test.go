@@ -57,6 +57,48 @@ func TestNormalized(t *testing.T) {
 	}
 }
 
+// Regression: Normalized used to return a copy whose Idx slice aliased
+// the receiver's, so mutating the normalized vector's indices corrupted
+// the original (and, through the accumulator's shared snapshot chunks,
+// every other vector carved from the same chunk).
+func TestNormalizedDeepCopies(t *testing.T) {
+	v := vec(0, 2, 5, 6)
+	n := v.Normalized()
+	n.Idx[0] = 99
+	n.Val[0] = -1
+	if v.Idx[0] != 0 || v.Val[0] != 2 {
+		t.Fatalf("mutating Normalized() corrupted the receiver: Idx=%v Val=%v", v.Idx, v.Val)
+	}
+	// Same for the zero-mass path.
+	z := vec(3, 0)
+	nz := z.Normalized()
+	nz.Idx[0] = 42
+	if z.Idx[0] != 3 {
+		t.Fatalf("zero-mass Normalized() aliases Idx: %v", z.Idx)
+	}
+}
+
+// Rewind invalidates prior snapshots and reuses their chunk storage.
+func TestAccumulatorRewind(t *testing.T) {
+	a := NewAccumulator(10)
+	a.Touch(3, 5)
+	v1 := a.Snapshot()
+	if v1.Idx[0] != 3 || v1.Val[0] != 5 {
+		t.Fatalf("snapshot 1: %v", v1)
+	}
+	a.Rewind()
+	a.Touch(7, 2)
+	v2 := a.Snapshot()
+	if v2.Idx[0] != 7 || v2.Val[0] != 2 {
+		t.Fatalf("snapshot 2: %v", v2)
+	}
+	// Storage was recycled: v1 now sees v2's entries (the documented
+	// invalidation), proving rewind reclaims rather than leaks.
+	if v1.Idx[0] != 7 {
+		t.Fatalf("rewind did not recycle chunk storage: v1.Idx=%v", v1.Idx)
+	}
+}
+
 func TestManhattanNormedKnownValues(t *testing.T) {
 	a := vec(0, 1)       // all mass on block 0
 	b := vec(1, 1)       // all mass on block 1

@@ -99,6 +99,83 @@ func Segmentation(res *trace.Result, numMarkers int) error {
 	return nil
 }
 
+// Streaming verifies the streaming/materializing equivalence claim: a
+// chunked, arena-recycling trace.Run over cfg must reproduce the
+// materialized reference bit-for-bit — every interval (bounds, phase,
+// performance counters, BBV), the run totals, and the online per-chunk
+// projection (simpoint.StreamProjector) against the batch projection of
+// the same intervals. The comparison is incremental — each chunk is
+// checked and released — so the check itself stays memory-bounded on the
+// streaming side. cfg must be the configuration want was produced with
+// (any Sink/ChunkSize in it is replaced).
+func Streaming(cfg trace.Config, want *trace.Result) error {
+	if want == nil {
+		return fmt.Errorf("streaming: nil reference result")
+	}
+	const dims, seed = 15, 0xC1
+	proj := simpoint.NewStreamProjector(want.NumBlocks, dims, seed)
+	next := 0
+	cfg.ChunkSize = 64
+	cfg.Sink = func(chunk []trace.Interval) error {
+		for i := range chunk {
+			got := &chunk[i]
+			if next >= len(want.Intervals) {
+				return fmt.Errorf("streamed interval %d beyond the %d materialized", got.Index, len(want.Intervals))
+			}
+			w := want.Intervals[next]
+			if got.Index != w.Index || got.Start != w.Start || got.End != w.End ||
+				got.PhaseID != w.PhaseID || got.Perf != w.Perf {
+				return fmt.Errorf("interval %d: streamed {idx %d [%d,%d) phase %d} vs materialized {idx %d [%d,%d) phase %d}",
+					next, got.Index, got.Start, got.End, got.PhaseID, w.Index, w.Start, w.End, w.PhaseID)
+			}
+			if len(got.BBV.Idx) != len(w.BBV.Idx) {
+				return fmt.Errorf("interval %d: streamed BBV has %d entries, materialized %d",
+					next, len(got.BBV.Idx), len(w.BBV.Idx))
+			}
+			for j := range got.BBV.Idx {
+				if got.BBV.Idx[j] != w.BBV.Idx[j] || got.BBV.Val[j] != w.BBV.Val[j] {
+					return fmt.Errorf("interval %d: BBV entry %d differs", next, j)
+				}
+			}
+			next++
+		}
+		proj.ObserveChunk(chunk)
+		return nil
+	}
+	sres, err := trace.Run(cfg)
+	if err != nil {
+		return fmt.Errorf("streaming: %w", err)
+	}
+	if next != len(want.Intervals) {
+		return fmt.Errorf("streaming: %d intervals streamed, %d materialized", next, len(want.Intervals))
+	}
+	if sres.Intervals != nil {
+		return fmt.Errorf("streaming: run materialized %d intervals despite sink", len(sres.Intervals))
+	}
+	if sres.Instructions != want.Instructions || sres.Total != want.Total ||
+		sres.MarkerFires != want.MarkerFires || sres.NumBlocks != want.NumBlocks {
+		return fmt.Errorf("streaming: totals differ: instrs %d/%d, fires %d/%d",
+			sres.Instructions, want.Instructions, sres.MarkerFires, want.MarkerFires)
+	}
+	// Online projection must equal the batch projection of the reference.
+	batch, batchW := simpoint.ProjectIntervals(want.Intervals, want.NumBlocks, dims, seed)
+	pts, weights := proj.Matrix()
+	if pts.N != batch.N {
+		return fmt.Errorf("streaming: projected %d rows, batch %d", pts.N, batch.N)
+	}
+	for i := range batch.Data {
+		if pts.Data[i] != batch.Data[i] {
+			return fmt.Errorf("streaming: projection differs at element %d (row %d)", i, i/dims)
+		}
+	}
+	for i := range batchW {
+		if weights[i] != batchW[i] {
+			return fmt.Errorf("streaming: projection weight %d differs", i)
+		}
+	}
+	return nil
+}
+
 // Clustering verifies a SimPoint classification over numPoints intervals:
 // assignments in range [0, K), at least one point per cluster (no empty
 // clusters may survive in a chosen result), weights of the right arity

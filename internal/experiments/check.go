@@ -5,7 +5,10 @@ import (
 	"io"
 
 	"phasemark/internal/check"
+	"phasemark/internal/core"
 	"phasemark/internal/obs"
+	"phasemark/internal/trace"
+	"phasemark/internal/uarch"
 	"phasemark/internal/workloads"
 )
 
@@ -45,11 +48,13 @@ func (s *Suite) checkWorkload(w *workloads.Workload) ([]namedCheck, error) {
 	// (a) Segmentation invariants: intervals tile [0, Instructions) with
 	// per-interval BBV mass equal to interval length — for the fixed-length
 	// baseline and for both marker-cut (VLI) modes the figures measure.
-	res, err := d.traced(fixedMode(FixedLen))
+	resFixed, err := d.traced(fixedMode(FixedLen))
 	if err != nil {
 		return nil, err
 	}
-	add("seg/fixed", check.Segmentation(res, -1))
+	add("seg/fixed", check.Segmentation(resFixed, -1))
+	var resLimit *trace.Result
+	var setLimit *core.MarkerSet
 	for _, mode := range []string{"no-limit cross", "limit 100k-2m"} {
 		set, err := d.markerSet(mode)
 		if err != nil {
@@ -60,7 +65,23 @@ func (s *Suite) checkWorkload(w *workloads.Workload) ([]namedCheck, error) {
 			return nil, err
 		}
 		add("seg/vli["+mode+"]", check.Segmentation(res, len(set.Markers)))
+		if mode == "limit 100k-2m" {
+			resLimit, setLimit = res, set
+		}
 	}
+
+	// (e) Streaming equivalence: the chunked, arena-recycling emission
+	// mode (and the online per-chunk projection) must reproduce the
+	// materialized traces above bit-for-bit, in both cutting modes. The
+	// cached materialized results serve as the reference, so this re-runs
+	// only the streaming side.
+	base := trace.Config{Prog: d.prog, Args: d.w.Ref, CPU: uarch.DefaultConfig()}
+	cfgF := base
+	cfgF.FixedLen = FixedLen
+	add("stream/fixed", check.Streaming(cfgF, resFixed))
+	cfgV := base
+	cfgV.Markers = setLimit
+	add("stream/vli", check.Streaming(cfgV, resLimit))
 
 	// (d) Clustering invariants over the clusterings Figures 7–9 and 11–12
 	// are built from (same cache keys: same kmax and seeds).

@@ -53,8 +53,23 @@ const (
 	analysisSeed     = 0xC1
 )
 
-// Stages returns the hot-path stages in reporting order.
-func Stages() []Stage {
+// streamK is the centroid count of the streaming mini-batch clusterer in
+// the pipeline_e2e_stream stage.
+const streamK = 8
+
+// Stages returns the hot-path stages in reporting order at scale 1.
+func Stages() []Stage { return StagesScaled(1) }
+
+// StagesScaled returns the stages with the trace amplifier applied to the
+// streaming stage: pipeline_e2e_stream executes its workload scale times
+// as one long trace (trace.Config.Scale), so `spexp -bench -scale 100`
+// demonstrates bounded-memory throughput on a 100× trace. The
+// materializing stages are intentionally left at scale 1 — their memory
+// grows with the trace, which is the point of the comparison.
+func StagesScaled(scale int) []Stage {
+	if scale < 1 {
+		scale = 1
+	}
 	return []Stage{
 		{
 			Name: "interp_dispatch",
@@ -93,6 +108,12 @@ func Stages() []Stage {
 			New:  newPipelineE2E,
 		},
 		{
+			Name: "pipeline_e2e_stream",
+			Desc: fmt.Sprintf("streaming bounded-memory pipeline: profile -> select -> chunked marker-cut trace feeding online projection, mini-batch k-means, and single-pass CoV, gzip train ×%d", scale),
+			Unit: "Minstr/s",
+			New:  newPipelineE2EStream(scale),
+		},
+		{
 			Name: "project",
 			Desc: "BBV random projection: gzip train at 10k fixed intervals, every interval BBV projected to 15 dims",
 			Unit: "Mmacs/s",
@@ -107,11 +128,11 @@ func Stages() []Stage {
 	}
 }
 
-// StagesNamed resolves a list of stage names (in suite order) or reports
-// the unknown ones alongside the valid set, mirroring the CLI convention
-// for unknown figure names.
-func StagesNamed(names []string) ([]Stage, error) {
-	all := Stages()
+// StagesNamed resolves a list of stage names (in suite order, at the
+// given trace scale) or reports the unknown ones alongside the valid set,
+// mirroring the CLI convention for unknown figure names.
+func StagesNamed(names []string, scale int) ([]Stage, error) {
+	all := StagesScaled(scale)
 	known := make(map[string]Stage, len(all))
 	order := make([]string, 0, len(all))
 	for _, st := range all {
@@ -318,4 +339,48 @@ func newPipelineE2E() (func() (uint64, error), error) {
 		}
 		return r.Instructions, nil
 	}, nil
+}
+
+// newPipelineE2EStream is pipeline_e2e's bounded-memory twin: the same
+// profile → select → marker-cut trace, but streamed — interval chunks
+// flow through the online projector, the mini-batch clusterer, and the
+// single-pass CoV accumulator, and are recycled; nothing O(trace) is ever
+// resident. scale amplifies the traced execution (trace.Config.Scale).
+func newPipelineE2EStream(scale int) func() (func() (uint64, error), error) {
+	return func() (func() (uint64, error), error) {
+		prog, w, err := compiled("gzip", false)
+		if err != nil {
+			return nil, err
+		}
+		ucfg := uarch.DefaultConfig()
+		return func() (uint64, error) {
+			set, err := markerSet(prog, w.Train)
+			if err != nil {
+				return 0, err
+			}
+			km := simpoint.NewStreamKMeans(prog.NumBlocks, simpoint.Options{
+				ForceK: streamK, Dims: analysisDims, Seed: analysisSeed, Restarts: 2, MaxIters: 40,
+			})
+			cov := trace.NewCoVAccumulator(trace.IntervalPhase, trace.CPIMetric)
+			r, err := trace.Run(trace.Config{
+				Prog: prog, Args: w.Train, CPU: ucfg, Markers: set, Scale: scale,
+				Sink: func(chunk []trace.Interval) error {
+					km.ObserveChunk(chunk)
+					cov.ObserveChunk(chunk)
+					return nil
+				},
+			})
+			if err != nil {
+				return 0, err
+			}
+			cl := km.Finish()
+			if cl.K < 1 || cl.Points == 0 {
+				return 0, fmt.Errorf("pipeline_e2e_stream: degenerate streaming clustering (K=%d over %d points)", cl.K, cl.Points)
+			}
+			if res := cov.Result(); res.Intervals != cl.Points {
+				return 0, fmt.Errorf("pipeline_e2e_stream: CoV saw %d intervals, clusterer %d", res.Intervals, cl.Points)
+			}
+			return r.Instructions, nil
+		}, nil
+	}
 }

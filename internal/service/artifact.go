@@ -1,0 +1,92 @@
+package service
+
+import (
+	"math"
+
+	"phasemark/internal/simpoint"
+	"phasemark/internal/trace"
+)
+
+// This file defines the compact artifacts the pipeline memoizes in place
+// of full *trace.Result values. A materialized trace retains every
+// interval's sparse BBV — O(instructions) memory on long executions —
+// while the responses the service actually serves need only per-interval
+// summaries and, for clustering, the dims-dimensional projections. Both
+// are computed online from the tracer's streamed chunks (trace.Config
+// .Sink), so process memory is bounded by the residue the response
+// needs, never by the trace that produced it.
+
+// TraceArtifact is the compact residue of one segmented execution:
+// per-interval summaries (exactly the fields SegmentResponse reports)
+// plus the run totals. It is what the pipeline memoizes per canonical
+// segment request — roughly 32 bytes per interval, BBVs never retained.
+type TraceArtifact struct {
+	Intervals    []IntervalInfo
+	Instructions uint64
+	MarkerFires  uint64
+	TrueCPI      float64
+}
+
+// observe folds one streamed chunk into the summary slice. Interval CPI
+// is computed here, from the same uarch counters NewSegmentResponse
+// would read off a materialized interval, so the serialized value is
+// bit-identical.
+func (a *TraceArtifact) observe(chunk []trace.Interval) {
+	for i := range chunk {
+		iv := &chunk[i]
+		a.Intervals = append(a.Intervals, IntervalInfo{
+			Start: iv.Start,
+			End:   iv.End,
+			Phase: iv.PhaseID,
+			CPI:   iv.CPI(),
+		})
+	}
+}
+
+// finish copies the run totals out of the streaming-mode result (whose
+// Intervals field is nil by contract).
+func (a *TraceArtifact) finish(res *trace.Result) {
+	a.Instructions = res.Instructions
+	a.MarkerFires = res.MarkerFires
+	a.TrueCPI = res.TrueCPI()
+}
+
+// ProjArtifact extends TraceArtifact with the projected point matrix and
+// instruction weights a cluster request consumes, memoized per (segment
+// key, dims, seed). The matrix comes from simpoint.StreamProjector fed
+// by the same streamed run that produced the summaries, and is
+// bit-identical to ProjectIntervals over the materialized trace — so
+// clustering it reproduces simpoint.Classify exactly, without the trace
+// ever being held in memory. Size is O(intervals·dims), the bounded
+// residue clustering fundamentally needs.
+type ProjArtifact struct {
+	TraceArtifact
+	Pts     simpoint.Matrix
+	Weights []float64
+}
+
+// evaluateArtifact is simpoint.Evaluate over interval summaries instead
+// of materialized intervals — the same arithmetic in the same order, so
+// the estimate (and the response bytes built from it) cannot drift from
+// the reference path.
+func evaluateArtifact(pts []simpoint.Point, ivs []IntervalInfo, trueCPI float64, k int) simpoint.Estimate {
+	var est simpoint.Estimate
+	est.Points = pts
+	est.K = k
+	est.TrueCPI = trueCPI
+	var cpi float64
+	var wsum float64
+	for _, p := range pts {
+		iv := ivs[p.Interval]
+		est.SimulatedIns += iv.End - iv.Start
+		cpi += p.Weight * iv.CPI
+		wsum += p.Weight
+	}
+	if wsum > 0 {
+		est.EstimatedCPI = cpi / wsum
+	}
+	if trueCPI > 0 {
+		est.RelativeError = math.Abs(est.EstimatedCPI-trueCPI) / trueCPI
+	}
+	return est
+}

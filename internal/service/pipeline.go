@@ -25,6 +25,7 @@ const (
 	SpanGraph   = "pipeline.graph"
 	SpanMarkers = "pipeline.markers"
 	SpanTrace   = "pipeline.trace"
+	SpanProject = "pipeline.project"
 	SpanCluster = "pipeline.cluster"
 )
 
@@ -154,8 +155,10 @@ func NewSelectResponse(req SelectRequest, set *core.MarkerSet) *SelectResponse {
 	return resp
 }
 
-// NewSegmentResponse builds the response for a canonical request from its
-// traced execution.
+// NewSegmentResponse builds the response for a canonical request from a
+// materialized traced execution. The service itself serves segment
+// responses from the streamed TraceArtifact (see Segment); this builder
+// is the materializing reference the byte-identity tests compare against.
 func NewSegmentResponse(req SegmentRequest, res *trace.Result) *SegmentResponse {
 	resp := &SegmentResponse{
 		Schema:       SchemaSegment,
@@ -176,17 +179,34 @@ func NewSegmentResponse(req SegmentRequest, res *trace.Result) *SegmentResponse 
 	return resp
 }
 
-// NewClusterResponse builds the response for a canonical request from its
-// traced execution and clustering.
+// NewClusterResponse builds the response for a canonical request from a
+// materialized traced execution and its clustering. Like
+// NewSegmentResponse it is the materializing reference: the service
+// builds cluster responses from the streamed ProjArtifact (see Cluster),
+// and the byte-identity tests pin the two paths together.
 func NewClusterResponse(req ClusterRequest, res *trace.Result, c *simpoint.Clustering) *ClusterResponse {
 	pts := simpoint.PickPoints(c, c.Points())
 	est := simpoint.Evaluate(pts, res.Intervals, res.TrueCPI(), c.K)
+	return clusterResponse(req, c, len(res.Intervals), pts, est)
+}
+
+// newClusterResponseFromArtifact builds the response the service serves:
+// same clustering engine, fed from the streamed projection artifact.
+func newClusterResponseFromArtifact(req ClusterRequest, art *ProjArtifact, c *simpoint.Clustering) *ClusterResponse {
+	pts := simpoint.PickPoints(c, art.Pts)
+	est := evaluateArtifact(pts, art.Intervals, art.TrueCPI, c.K)
+	return clusterResponse(req, c, len(art.Intervals), pts, est)
+}
+
+// clusterResponse assembles the response struct shared by the reference
+// and artifact paths.
+func clusterResponse(req ClusterRequest, c *simpoint.Clustering, intervals int, pts []simpoint.Point, est simpoint.Estimate) *ClusterResponse {
 	resp := &ClusterResponse{
 		Schema:       SchemaCluster,
 		Request:      req,
 		K:            c.K,
 		BIC:          c.BIC,
-		Intervals:    len(res.Intervals),
+		Intervals:    intervals,
 		Weights:      c.Weights,
 		Assign:       c.Assign,
 		Points:       []PointInfo{},
@@ -230,24 +250,41 @@ type graphKey struct {
 	input    string
 }
 
+// projKey identifies a memoized projection artifact: the segment it
+// summarizes plus the projection parameters (cluster requests with the
+// same segment but different dims/seed need different matrices).
+type projKey struct {
+	segment store.Key
+	dims    int
+	seed    uint64
+}
+
 // Pipeline computes responses for canonical requests over the existing
 // pipeline packages, memoizing every expensive intermediate artifact with
 // singleflight semantics (store.Memo): compiled programs per workload,
 // profiled graphs per (workload, input), marker sets per select request,
-// traced executions per segment request. Clusterings are cheap relative to
-// the trace they consume and are not memoized — the response bytes
-// themselves live in the artifact store.
+// and — instead of full traced executions — compact streaming artifacts:
+// per-interval summaries per segment request (TraceArtifact) and
+// projected point matrices per cluster parameterization (ProjArtifact).
+// Both are folded online from the tracer's chunked emission, so no
+// request ever materializes an O(trace) interval slice; working memory is
+// O(intervals) summaries plus O(intervals·dims) projections.
+// Clusterings are cheap relative to the artifacts they consume and are
+// not memoized — the response bytes themselves live in the artifact
+// store.
 //
 // Memory grows with the set of *distinct* artifacts requested over the
-// process lifetime (traces dominate). That is the intended trade for a
-// service whose request population is content-addressed and heavily
-// repeated; a process restart over the same store directory serves prior
-// responses from disk without recomputing anything.
+// process lifetime, but each artifact is now the compact residue the
+// response needs, not the trace that produced it. Segment and cluster
+// requests each stream their own interpreter run (summaries-only vs
+// summaries+projection); repeated identical requests are served from the
+// content-addressed response store without recomputing anything.
 type Pipeline struct {
 	progs  store.Memo[string, *minivm.Program]
 	graphs store.Memo[graphKey, *core.Graph]
 	sets   store.Memo[store.Key, *core.MarkerSet]
-	traces store.Memo[store.Key, *trace.Result]
+	traces store.Memo[store.Key, *TraceArtifact]
+	projs  store.Memo[projKey, *ProjArtifact]
 }
 
 // NewPipeline builds an empty pipeline cache.
@@ -315,30 +352,81 @@ func (p *Pipeline) Markers(ctx context.Context, req SelectRequest) (*core.Marker
 		})
 }
 
+// segConfig assembles the trace configuration for a canonical segment
+// request (shared by the summary and projection stages) and reports the
+// program's static block count for projection sizing.
+func (p *Pipeline) segConfig(ctx context.Context, req SegmentRequest) (trace.Config, int, error) {
+	w, prog, err := p.prog(ctx, req.Workload)
+	if err != nil {
+		return trace.Config{}, 0, err
+	}
+	cfg := trace.Config{Prog: prog, Args: w.Ref, CPU: uarch.DefaultConfig()}
+	if req.FixedLen > 0 {
+		cfg.FixedLen = req.FixedLen
+	} else {
+		set, err := p.Markers(ctx, *req.Select)
+		if err != nil {
+			return trace.Config{}, 0, err
+		}
+		cfg.Markers = set
+	}
+	return cfg, prog.NumBlocks, nil
+}
+
 // Trace runs (memoized) the segmented ref execution for a canonical
-// request.
-func (p *Pipeline) Trace(ctx context.Context, req SegmentRequest) (*trace.Result, error) {
+// request, streaming it into a compact TraceArtifact: the tracer emits
+// interval chunks into a recycled arena, the sink folds them into
+// per-interval summaries, and BBV collection is skipped entirely — the
+// segment response doesn't need it, so neither trace nor vectors are
+// ever held in memory.
+func (p *Pipeline) Trace(ctx context.Context, req SegmentRequest) (*TraceArtifact, error) {
 	return stage(ctx, &p.traces, SpanTrace, req.Workload, req.Key(),
-		func(cctx context.Context) (*trace.Result, error) {
-			w, prog, err := p.prog(cctx, req.Workload)
+		func(cctx context.Context) (*TraceArtifact, error) {
+			cfg, _, err := p.segConfig(cctx, req)
 			if err != nil {
 				return nil, err
 			}
-			cfg := trace.Config{Prog: prog, Args: w.Ref, CPU: uarch.DefaultConfig()}
-			if req.FixedLen > 0 {
-				cfg.FixedLen = req.FixedLen
-			} else {
-				set, err := p.Markers(cctx, *req.Select)
-				if err != nil {
-					return nil, err
-				}
-				cfg.Markers = set
+			art := &TraceArtifact{}
+			cfg.SkipBBV = true
+			cfg.Sink = func(chunk []trace.Interval) error {
+				art.observe(chunk)
+				return nil
 			}
 			res, err := trace.Run(cfg)
 			if err != nil {
 				return nil, fmt.Errorf("%s: %w", req.Workload, err)
 			}
-			return res, nil
+			art.finish(res)
+			return art, nil
+		})
+}
+
+// project runs (memoized) the segmented execution for a cluster request,
+// streaming it into a ProjArtifact: the same chunked run as Trace, but
+// with BBVs collected per chunk and projected online into the point
+// matrix before the arena is recycled.
+func (p *Pipeline) project(ctx context.Context, req ClusterRequest) (*ProjArtifact, error) {
+	k := projKey{segment: req.Segment.Key(), dims: req.Dims, seed: req.Seed}
+	return stage(ctx, &p.projs, SpanProject, req.Segment.Workload, k,
+		func(cctx context.Context) (*ProjArtifact, error) {
+			cfg, numBlocks, err := p.segConfig(cctx, req.Segment)
+			if err != nil {
+				return nil, err
+			}
+			art := &ProjArtifact{}
+			proj := simpoint.NewStreamProjector(numBlocks, req.Dims, req.Seed)
+			cfg.Sink = func(chunk []trace.Interval) error {
+				art.observe(chunk)
+				proj.ObserveChunk(chunk)
+				return nil
+			}
+			res, err := trace.Run(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", req.Segment.Workload, err)
+			}
+			art.finish(res)
+			art.Pts, art.Weights = proj.Matrix()
+			return art, nil
 		})
 }
 
@@ -360,26 +448,41 @@ func (p *Pipeline) Select(ctx context.Context, req SelectRequest) ([]byte, error
 	return Encode(NewSelectResponse(req, set)), nil
 }
 
-// Segment computes the response bytes for a canonical segment request.
+// Segment computes the response bytes for a canonical segment request,
+// straight from the streamed artifact's summaries.
 func (p *Pipeline) Segment(ctx context.Context, req SegmentRequest) ([]byte, error) {
-	res, err := p.Trace(ctx, req)
+	art, err := p.Trace(ctx, req)
 	if err != nil {
 		return nil, err
 	}
-	return Encode(NewSegmentResponse(req, res)), nil
+	resp := &SegmentResponse{
+		Schema:       SchemaSegment,
+		Request:      req,
+		Instructions: art.Instructions,
+		MarkerFires:  art.MarkerFires,
+		TrueCPI:      art.TrueCPI,
+		Intervals:    art.Intervals,
+	}
+	if resp.Intervals == nil {
+		resp.Intervals = []IntervalInfo{}
+	}
+	return Encode(resp), nil
 }
 
-// Cluster computes the response bytes for a canonical cluster request.
-// Clustering itself is not memoized (it is cheap next to the trace it
-// consumes), so its span is always cache=computed.
+// Cluster computes the response bytes for a canonical cluster request by
+// clustering the streamed projection artifact — the same engine
+// simpoint.Classify runs, fed a bit-identical matrix, so the bytes match
+// the materializing reference path. Clustering itself is not memoized
+// (it is cheap next to the artifact it consumes), so its span is always
+// cache=computed.
 func (p *Pipeline) Cluster(ctx context.Context, req ClusterRequest) ([]byte, error) {
-	res, err := p.Trace(ctx, req.Segment)
+	art, err := p.project(ctx, req)
 	if err != nil {
 		return nil, err
 	}
 	sp := obs.SpanFromContext(ctx).Child(SpanCluster, req.Segment.Workload)
 	sp.SetTag("cache", store.Computed.String())
-	c := simpoint.Classify(res, ClusterOptions(req))
+	c := simpoint.Cluster(art.Pts, art.Weights, ClusterOptions(req))
 	sp.End()
-	return Encode(NewClusterResponse(req, res, c)), nil
+	return Encode(newClusterResponseFromArtifact(req, art, c)), nil
 }

@@ -84,8 +84,8 @@ func (o Options) workers() int {
 // Clustering is the result of k-means phase classification.
 type Clustering struct {
 	K       int
-	Assign  []int  // point index -> cluster
-	Centers Matrix // K centroids
+	Assign  []int     // point index -> cluster
+	Centers Matrix    // K centroids
 	Weights []float64 // fraction of total instruction mass per cluster
 	BIC     float64
 

@@ -128,6 +128,25 @@ func (a *Weighted) Add(x, w float64) {
 	a.m2 += w * delta * (x - a.mean)
 }
 
+// Merge folds another accumulator into a (parallel weighted combination):
+// the result is identical — up to floating-point association — to adding
+// both accumulators' observation streams into one.
+func (a *Weighted) Merge(o Weighted) {
+	if o.wsum == 0 {
+		return
+	}
+	if a.wsum == 0 {
+		*a = o
+		return
+	}
+	w := a.wsum + o.wsum
+	delta := o.mean - a.mean
+	a.mean += delta * o.wsum / w
+	a.m2 += o.m2 + delta*delta*a.wsum*o.wsum/w
+	a.wsum = w
+	a.count += o.count
+}
+
 // N reports the number of (nonzero-weight) observations.
 func (a *Weighted) N() uint64 { return a.count }
 

@@ -153,6 +153,51 @@ func TestWeightedScaling(t *testing.T) {
 	}
 }
 
+func TestWeightedMergeEquivalence(t *testing.T) {
+	f := func(a, b []float64) bool {
+		sane := func(xs []float64) []float64 {
+			out := xs[:0]
+			for _, x := range xs {
+				if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e9 {
+					out = append(out, x)
+				}
+			}
+			return out
+		}
+		a, b = sane(a), sane(b)
+		var wa, wb, all Weighted
+		for i, x := range a {
+			w := float64(i%7 + 1)
+			wa.Add(x, w)
+			all.Add(x, w)
+		}
+		for i, x := range b {
+			w := float64(i%5 + 1)
+			wb.Add(x, w)
+			all.Add(x, w)
+		}
+		wa.Merge(wb)
+		return wa.N() == all.N() &&
+			almostEqual(wa.WeightSum(), all.WeightSum(), 1e-9) &&
+			almostEqual(wa.Mean(), all.Mean(), 1e-9) &&
+			almostEqual(wa.Variance(), all.Variance(), 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+	// Merging into/from empty.
+	var empty, one Weighted
+	one.Add(4, 2)
+	empty.Merge(one)
+	if empty.Mean() != 4 || empty.WeightSum() != 2 {
+		t.Fatalf("merge into empty: %+v", empty)
+	}
+	one.Merge(Weighted{})
+	if one.Mean() != 4 || one.N() != 1 {
+		t.Fatalf("merge from empty changed state: %+v", one)
+	}
+}
+
 func TestRNGDeterminismAndRange(t *testing.T) {
 	a, b := NewRNG(42), NewRNG(42)
 	for i := 0; i < 100; i++ {

@@ -33,7 +33,12 @@ func (f *FixedCutter) ObservedEvents() minivm.EventMask { return minivm.EvBlock 
 func (f *FixedCutter) OnBlock(b *minivm.Block) {
 	if f.instrs >= f.next {
 		f.cut(f.instrs)
-		f.next += f.step
+		// A block heavier than step can carry instrs past several grid
+		// points at once; advance next beyond the current count or every
+		// subsequent block would fire a spurious cut (cascading one-block
+		// intervals) until the grid caught up.
+		for f.next += f.step; f.next <= f.instrs; f.next += f.step {
+		}
 	}
 	f.instrs += uint64(b.Weight())
 }

@@ -1,0 +1,59 @@
+package trace
+
+import (
+	"testing"
+
+	"phasemark/internal/minivm"
+)
+
+// fakeBlock builds a standalone block with the given instruction weight
+// (Weight counts straight-line instructions plus the terminator).
+func fakeBlock(weight int) *minivm.Block {
+	return &minivm.Block{Instr: make([]minivm.Instr, weight-1)}
+}
+
+// TestFixedCutterHeavyBlock is the fail-on-old-code regression for the
+// heavy-block bug: a single block heavier than step used to advance next
+// by only one step, so every subsequent block fired a spurious cut,
+// shattering the tail of the trace into one-block intervals. The grid
+// must instead skip to the first multiple of step beyond the current
+// count.
+func TestFixedCutterHeavyBlock(t *testing.T) {
+	var cuts []uint64
+	f := NewFixedCutter(100, func(at uint64) { cuts = append(cuts, at) })
+
+	// One block of 350 instructions, then light blocks of 10.
+	f.OnBlock(fakeBlock(350))
+	for i := 0; i < 20; i++ {
+		f.OnBlock(fakeBlock(10))
+	}
+
+	// The heavy block carries the count from 0 to 350 crossing the 100,
+	// 200, and 300 grid points at once; block boundaries are the only
+	// legal cut points, so exactly one cut fires, at 350, and the next
+	// must wait for the 400 grid point (count 400 pre-block → cut at 400,
+	// then 500 at count 500).
+	want := []uint64{350, 400, 500}
+	if len(cuts) != len(want) {
+		t.Fatalf("cuts = %v, want %v (old code cascades a cut on every block after a heavy one)", cuts, want)
+	}
+	for i := range want {
+		if cuts[i] != want[i] {
+			t.Fatalf("cuts = %v, want %v", cuts, want)
+		}
+	}
+}
+
+// TestFixedCutterExactGrid pins the unchanged base behavior: counts
+// landing exactly on grid points with light blocks cut once per step.
+func TestFixedCutterExactGrid(t *testing.T) {
+	var cuts []uint64
+	f := NewFixedCutter(100, func(at uint64) { cuts = append(cuts, at) })
+	for i := 0; i < 25; i++ {
+		f.OnBlock(fakeBlock(10))
+	}
+	want := []uint64{100, 200}
+	if len(cuts) != len(want) || cuts[0] != want[0] || cuts[1] != want[1] {
+		t.Fatalf("cuts = %v, want %v", cuts, want)
+	}
+}

@@ -1,0 +1,149 @@
+// Segmentation edge cases, tested from outside the package so the
+// tiling invariant (internal/check) can be asserted directly: a marker
+// firing on the very first block, a fixed-length grid point landing
+// exactly on the end of execution, and a FixedLen larger than the whole
+// trace. None may produce zero-length intervals or lose the tail.
+package trace_test
+
+import (
+	"testing"
+
+	"phasemark/internal/check"
+	"phasemark/internal/compile"
+	"phasemark/internal/core"
+	"phasemark/internal/minivm"
+	"phasemark/internal/trace"
+	"phasemark/internal/uarch"
+)
+
+const edgeSrc = `
+proc work(n) {
+	var s = 0;
+	for (var i = 0; i < n; i = i + 1) { s = s + i * 3; }
+	return s;
+}
+proc main(n) {
+	out(work(n));
+	return 0;
+}
+`
+
+func compileEdge(t *testing.T) *minivm.Program {
+	t.Helper()
+	prog, err := compile.CompileSource(edgeSrc, compile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// A marker on the virtual-root → entry-procedure edge fires at
+// instruction 0, before anything has executed. The firing must re-phase
+// the first interval (same-instant dedup), not open an empty one.
+func TestMarkerFiresOnFirstBlock(t *testing.T) {
+	prog := compileEdge(t)
+	entry := prog.EntryProc()
+	set := &core.MarkerSet{Markers: []core.Marker{{
+		Key: core.EdgeKey{
+			From: core.NodeKey{Kind: core.RootKind},
+			To:   core.NodeKey{Kind: core.ProcHead, ID: entry.ID},
+			Site: entry.Blocks[0].ID,
+		},
+		GroupN: 1,
+		Count:  1,
+	}}}
+	res, err := trace.Run(trace.Config{
+		Prog: prog, Args: []int64{500}, CPU: uarch.DefaultConfig(), Markers: set,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := check.Segmentation(res, len(set.Markers)); err != nil {
+		t.Fatalf("tiling invariant violated: %v", err)
+	}
+	if res.MarkerFires != 1 {
+		t.Fatalf("marker fires = %d, want 1", res.MarkerFires)
+	}
+	if len(res.Intervals) != 1 {
+		t.Fatalf("intervals = %d, want 1 (a firing at instant 0 must not open an empty interval)",
+			len(res.Intervals))
+	}
+	iv := res.Intervals[0]
+	if iv.Start != 0 || iv.End != res.Instructions {
+		t.Fatalf("interval [%d, %d) does not cover [0, %d)", iv.Start, iv.End, res.Instructions)
+	}
+	if iv.PhaseID != 0 {
+		t.Fatalf("interval phase = %d, want marker 0 (the instant-0 firing defines the phase)", iv.PhaseID)
+	}
+}
+
+// A FixedLen larger than the whole trace yields exactly one interval
+// covering everything — no lost tail, no spurious cut.
+func TestFixedLenLargerThanTrace(t *testing.T) {
+	prog := compileEdge(t)
+	res, err := trace.Run(trace.Config{
+		Prog: prog, Args: []int64{500}, CPU: uarch.DefaultConfig(), FixedLen: 1 << 62,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := check.Segmentation(res, -1); err != nil {
+		t.Fatalf("tiling invariant violated: %v", err)
+	}
+	if len(res.Intervals) != 1 {
+		t.Fatalf("intervals = %d, want 1", len(res.Intervals))
+	}
+	if res.Intervals[0].Len() != res.Instructions {
+		t.Fatalf("interval covers %d of %d instructions", res.Intervals[0].Len(), res.Instructions)
+	}
+}
+
+// When the execution length is an exact multiple of FixedLen, the last
+// grid point coincides with the end of the program: the pending cut never
+// fires (no block follows) and the final close must land exactly there —
+// one full-length tail interval, not a zero-length one and not a lost
+// tail.
+func TestFixedLenDividesTraceExactly(t *testing.T) {
+	prog := compileEdge(t)
+	probe, err := trace.Run(trace.Config{
+		Prog: prog, Args: []int64{500}, CPU: uarch.DefaultConfig(),
+		FixedLen: 1 << 62, SkipBBV: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := probe.Instructions
+
+	// Pick a FixedLen that divides the total exactly, so a grid point
+	// lands on the final instruction boundary.
+	var fl uint64
+	for d := uint64(2); d <= 1024; d++ {
+		if total%d == 0 {
+			fl = total / d
+			break
+		}
+	}
+	if fl == 0 {
+		t.Fatalf("execution length %d has no small divisor; adjust the fixture", total)
+	}
+
+	res, err := trace.Run(trace.Config{
+		Prog: prog, Args: []int64{500}, CPU: uarch.DefaultConfig(), FixedLen: fl,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := check.Segmentation(res, -1); err != nil {
+		t.Fatalf("tiling invariant violated: %v", err)
+	}
+	last := res.Intervals[len(res.Intervals)-1]
+	if last.End != total {
+		t.Fatalf("last interval ends at %d, want %d (lost tail)", last.End, total)
+	}
+	if last.Len() == 0 {
+		t.Fatal("zero-length tail interval at the final grid point")
+	}
+	if len(res.Intervals) < 2 {
+		t.Fatalf("only %d intervals; the divisor case needs interior cuts to be meaningful", len(res.Intervals))
+	}
+}

@@ -25,6 +25,82 @@ type PhaseCoVResult struct {
 	AvgIntervalLen float64
 }
 
+// CoVAccumulator computes the §3.1 homogeneity metric in one pass with
+// O(phases) working memory: feed it intervals (or whole streamed chunks)
+// as they are cut and ask for the Result at the end. It never retains an
+// interval, so it composes with trace.Config.Sink for bounded-memory
+// runs; PhaseCoV is the materialized-slice convenience wrapper.
+type CoVAccumulator struct {
+	phaseOf  func(*Interval) int
+	metric   Metric
+	groups   map[int]*stats.Weighted
+	totalLen float64
+	n        int
+}
+
+// NewCoVAccumulator builds a single-pass accumulator. phaseOf maps an
+// interval to its phase ID (IntervalPhase for marker-assigned IDs, or a
+// clustering's assignment for BBV baselines); metric extracts the
+// per-interval behavior measure.
+func NewCoVAccumulator(phaseOf func(*Interval) int, metric Metric) *CoVAccumulator {
+	return &CoVAccumulator{phaseOf: phaseOf, metric: metric, groups: map[int]*stats.Weighted{}}
+}
+
+// Observe folds one interval into the per-phase statistics. Nothing in iv
+// is retained.
+func (a *CoVAccumulator) Observe(iv *Interval) {
+	id := a.phaseOf(iv)
+	g := a.groups[id]
+	if g == nil {
+		g = &stats.Weighted{}
+		a.groups[id] = g
+	}
+	w := float64(iv.Len())
+	g.Add(a.metric(iv), w)
+	a.totalLen += w
+	a.n++
+}
+
+// ObserveChunk folds a streamed chunk (a trace.Config.Sink payload).
+func (a *CoVAccumulator) ObserveChunk(chunk []Interval) {
+	for i := range chunk {
+		a.Observe(&chunk[i])
+	}
+}
+
+// Merge folds another accumulator into a, enabling parallel single-pass
+// accumulation over sharded traces. Both must use equivalent phaseOf and
+// metric functions.
+func (a *CoVAccumulator) Merge(o *CoVAccumulator) {
+	for id, g := range o.groups {
+		mine := a.groups[id]
+		if mine == nil {
+			mine = &stats.Weighted{}
+			a.groups[id] = mine
+		}
+		mine.Merge(*g)
+	}
+	a.totalLen += o.totalLen
+	a.n += o.n
+}
+
+// Result summarizes the observations so far.
+func (a *CoVAccumulator) Result() PhaseCoVResult {
+	var covSum, wSum float64
+	for _, g := range a.groups {
+		covSum += g.CoV() * g.WeightSum()
+		wSum += g.WeightSum()
+	}
+	res := PhaseCoVResult{Phases: len(a.groups), Intervals: a.n}
+	if wSum > 0 {
+		res.CoV = covSum / wSum
+	}
+	if a.n > 0 {
+		res.AvgIntervalLen = a.totalLen / float64(a.n)
+	}
+	return res
+}
+
 // PhaseCoV measures classification homogeneity per §3.1: for each phase,
 // compute the instruction-weighted mean and standard deviation of the
 // metric over the phase's intervals and divide to get the phase CoV; then
@@ -35,32 +111,11 @@ type PhaseCoVResult struct {
 // phaseOf maps an interval to its phase ID (pass IntervalPhase to use the
 // marker-assigned IDs, or a clustering's assignment for BBV baselines).
 func PhaseCoV(ivs []*Interval, phaseOf func(*Interval) int, metric Metric) PhaseCoVResult {
-	groups := map[int]*stats.Weighted{}
-	var totalLen float64
+	acc := NewCoVAccumulator(phaseOf, metric)
 	for _, iv := range ivs {
-		id := phaseOf(iv)
-		w := float64(iv.Len())
-		g := groups[id]
-		if g == nil {
-			g = &stats.Weighted{}
-			groups[id] = g
-		}
-		g.Add(metric(iv), w)
-		totalLen += w
+		acc.Observe(iv)
 	}
-	var covSum, wSum float64
-	for _, g := range groups {
-		covSum += g.CoV() * g.WeightSum()
-		wSum += g.WeightSum()
-	}
-	res := PhaseCoVResult{Phases: len(groups), Intervals: len(ivs)}
-	if wSum > 0 {
-		res.CoV = covSum / wSum
-	}
-	if len(ivs) > 0 {
-		res.AvgIntervalLen = totalLen / float64(len(ivs))
-	}
-	return res
+	return acc.Result()
 }
 
 // IntervalPhase uses the phase ID assigned at segmentation time (the

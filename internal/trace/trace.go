@@ -71,6 +71,25 @@ type Config struct {
 	// SkipBBV disables basic-block-vector collection (faster when only
 	// CPI/miss metrics are needed).
 	SkipBBV bool
+
+	// Sink, when non-nil, switches Run into streaming mode: finished
+	// intervals are handed to Sink in chunks of up to ChunkSize as the
+	// execution proceeds, and Result.Intervals stays nil. The chunk and
+	// every Interval in it — including BBV storage — are owned by the
+	// tracer and recycled after Sink returns; a sink must finish with (or
+	// deep-copy) anything it keeps. Working memory is then bounded by the
+	// chunk instead of the trace. A Sink error aborts the run.
+	Sink func(chunk []Interval) error
+
+	// ChunkSize is the streaming chunk capacity in intervals (default 256).
+	// Ignored when Sink is nil.
+	ChunkSize int
+
+	// Scale amplifies the trace by executing the program Scale times
+	// (machine state reset between repetitions, observer state carried
+	// through), producing one Scale×-long segmented execution. 0 or 1
+	// means a single execution.
+	Scale int
 }
 
 // collector owns the interval state and implements the cut logic.
@@ -79,13 +98,22 @@ type collector struct {
 	acc     *bbv.Accumulator
 	skipBBV bool
 
+	// sink non-nil selects streaming mode: the arena doubles as the
+	// delivery chunk, flushed and recycled (with the BBV snapshot chunks)
+	// when full, and intervals stays nil.
+	sink func(chunk []Interval) error
+	err  error // first sink error; poisons the rest of the run
+
 	intervals []*Interval
-	// arena is the current Interval allocation chunk. Interval pointers
-	// escape into the Result, so cut never reuses storage — it appends into
-	// the chunk and starts a fresh one when full, amortizing what used to
-	// be one heap allocation per interval down to one per chunk (finished
-	// chunks stay alive through the pointers into them).
+	// arena is the current Interval allocation chunk. In materializing
+	// mode Interval pointers escape into the Result, so cut never reuses
+	// storage — it appends into the chunk and starts a fresh one when
+	// full, amortizing what used to be one heap allocation per interval
+	// down to one per chunk (finished chunks stay alive through the
+	// pointers into them). In streaming mode the one arena is reused for
+	// the life of the run.
 	arena    []Interval
+	count    int // intervals cut so far (Index source in both modes)
 	lastCut  uint64
 	lastPerf uarch.Counters
 	curPhase int
@@ -120,24 +148,57 @@ func (c *collector) cut(phase int, at uint64) {
 		return
 	}
 	now := c.cpu.Counters()
-	if len(c.arena) == cap(c.arena) {
-		c.arena = make([]Interval, 0, intervalChunk)
-	}
-	c.arena = append(c.arena, Interval{
-		Index:   len(c.intervals),
+	iv := Interval{
+		Index:   c.count,
 		Start:   c.lastCut,
 		End:     at,
 		PhaseID: c.curPhase,
 		Perf:    now.Sub(c.lastPerf),
-	})
-	iv := &c.arena[len(c.arena)-1]
+	}
 	if !c.skipBBV {
 		iv.BBV = c.acc.Snapshot()
 	}
-	c.intervals = append(c.intervals, iv)
+	switch {
+	case c.sink == nil:
+		if len(c.arena) == cap(c.arena) {
+			c.arena = make([]Interval, 0, intervalChunk)
+		}
+		c.arena = append(c.arena, iv)
+		c.intervals = append(c.intervals, &c.arena[len(c.arena)-1])
+	case c.err != nil:
+		// A sink error already poisoned the run; drop the interval and
+		// recycle its storage so the doomed remainder of the execution
+		// cannot grow memory before Run surfaces the error.
+		c.arena = c.arena[:0]
+		if !c.skipBBV {
+			c.acc.Rewind()
+		}
+	default:
+		c.arena = append(c.arena, iv)
+		if len(c.arena) == cap(c.arena) {
+			c.flush()
+		}
+	}
+	c.count++
+	obsIntervalLens.Observe(at - c.lastCut)
 	c.lastCut = at
 	c.lastPerf = now
 	c.curPhase = phase
+}
+
+// flush delivers the buffered chunk to the sink and recycles its storage
+// (the Interval arena and the BBV snapshot chunks backing the vectors).
+func (c *collector) flush() {
+	if c.sink == nil || len(c.arena) == 0 || c.err != nil {
+		return
+	}
+	if err := c.sink(c.arena); err != nil {
+		c.err = err
+	}
+	c.arena = c.arena[:0]
+	if !c.skipBBV {
+		c.acc.Rewind()
+	}
 }
 
 // Run executes the program under the timing model, cutting intervals per
@@ -159,53 +220,82 @@ func Run(cfg Config) (*Result, error) {
 		cpu:      cpu,
 		acc:      bbv.NewAccumulator(cfg.Prog.NumBlocks),
 		skipBBV:  cfg.SkipBBV,
+		sink:     cfg.Sink,
 		curPhase: ProloguePhase,
 	}
+	if cfg.Sink != nil {
+		chunk := cfg.ChunkSize
+		if chunk <= 0 {
+			chunk = intervalChunk
+		}
+		col.arena = make([]Interval, 0, chunk)
+	}
 
-	var obs minivm.MultiObserver
+	// Named to avoid shadowing the imported obs metrics package (a past
+	// bug; shadow_test.go keeps it from returning).
+	var observers minivm.MultiObserver
 	var det *core.Detector
 	if cfg.FixedLen > 0 {
-		obs = append(obs, NewFixedCutter(cfg.FixedLen, func(at uint64) {
+		observers = append(observers, NewFixedCutter(cfg.FixedLen, func(at uint64) {
 			col.cut(ProloguePhase, at)
 		}))
 	} else {
 		det = core.NewDetector(cfg.Prog, nil, cfg.Markers, func(marker int, at uint64) {
 			col.cut(marker, at)
 		})
-		obs = append(obs, det)
+		observers = append(observers, det)
 	}
 	if cfg.SkipBBV {
-		obs = append(obs, cpu)
+		observers = append(observers, cpu)
 	} else {
 		// Fuse the timing model's block accounting with BBV collection into
 		// one dispatch, and strip EvBlock from the CPU's own registration so
 		// the machine makes two observer calls per block instead of three.
-		obs = append(obs,
+		observers = append(observers,
 			&perfBlockObs{cpu: cpu, acc: col.acc},
 			minivm.Masked(cpu, minivm.EvBranch|minivm.EvMem))
 	}
 
-	m := minivm.NewMachine(cfg.Prog, obs)
-	if _, err := m.Run(cfg.Args...); err != nil {
-		return nil, fmt.Errorf("trace: run failed: %w", err)
+	m := minivm.NewMachine(cfg.Prog, observers)
+	// The Scale amplifier executes the program Scale times as one long
+	// trace: machine state (memory, output, instruction counter) resets
+	// between repetitions while every observer — cutter positions, the
+	// detector's walker, timing-model counters, the BBV accumulator —
+	// carries through cumulatively.
+	runs := max(cfg.Scale, 1)
+	var total uint64
+	for rep := 0; rep < runs; rep++ {
+		if rep > 0 {
+			m.Reset()
+			if det != nil {
+				if err := det.Restart(); err != nil {
+					return nil, fmt.Errorf("trace: scale restart: %w", err)
+				}
+			}
+		}
+		if _, err := m.Run(cfg.Args...); err != nil {
+			return nil, fmt.Errorf("trace: run failed: %w", err)
+		}
+		total += m.Instructions()
 	}
-	// Close the final interval.
-	col.cut(ProloguePhase, m.Instructions())
+	// Close the final interval and deliver any buffered streaming chunk.
+	col.cut(ProloguePhase, total)
+	col.flush()
+	if col.err != nil {
+		return nil, fmt.Errorf("trace: sink: %w", col.err)
+	}
 
 	res := &Result{
 		Intervals:    col.intervals,
 		Total:        cpu.Counters(),
-		Instructions: m.Instructions(),
+		Instructions: total,
 		NumBlocks:    cfg.Prog.NumBlocks,
 	}
 	if det != nil {
 		res.MarkerFires = det.TotalFired()
 	}
 	obsTraceRuns.Inc()
-	obsIntervals.Add(uint64(len(res.Intervals)))
+	obsIntervals.Add(uint64(col.count))
 	obsMarkerFires.Add(res.MarkerFires)
-	for _, iv := range res.Intervals {
-		obsIntervalLens.Observe(iv.Len())
-	}
 	return res, nil
 }

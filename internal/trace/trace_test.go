@@ -1,8 +1,11 @@
 package trace
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 
+	"phasemark/internal/bbv"
 	"phasemark/internal/compile"
 	"phasemark/internal/core"
 	"phasemark/internal/uarch"
@@ -153,6 +156,72 @@ func TestPhaseCoVWeighting(t *testing.T) {
 	}
 }
 
+// A program ending exactly on a marker firing: the final close arrives
+// at the same instant as the last firing, and the same-instant dedup
+// must swallow it rather than record a zero-length interval. Exercised
+// at the collector level because structurally a firing and program end
+// cannot coincide through the machine (every edge open is followed by at
+// least one block), yet the collector must stay safe if they ever do.
+func TestCutDedupAtExactEnd(t *testing.T) {
+	cfg, _ := compileAndMark(t, 50_000)
+	cpu := uarch.NewCPU(uarch.DefaultConfig(), cfg.Prog)
+	col := &collector{cpu: cpu, skipBBV: true, curPhase: ProloguePhase}
+
+	col.cut(2, 100)             // marker 2 fires at instruction 100
+	col.cut(ProloguePhase, 100) // program ends at the same instant
+	if len(col.intervals) != 1 {
+		t.Fatalf("%d intervals, want 1 (no zero-length interval at coincident end)", len(col.intervals))
+	}
+	iv := col.intervals[0]
+	if iv.Start != 0 || iv.End != 100 || iv.PhaseID != ProloguePhase {
+		t.Fatalf("interval %+v, want [0,100) prologue", *iv)
+	}
+}
+
+// The single-pass accumulator (streamed in chunks, sharded and merged)
+// must agree with the materialized PhaseCoV.
+func TestCoVAccumulatorMatchesPhaseCoV(t *testing.T) {
+	cfg, _ := compileAndMark(t, 50_000)
+	res, err := Run(*cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := PhaseCoV(res.Intervals, IntervalPhase, CPIMetric)
+
+	// Chunked observation.
+	acc := NewCoVAccumulator(IntervalPhase, CPIMetric)
+	chunk := make([]Interval, 0, 3)
+	for _, iv := range res.Intervals {
+		chunk = append(chunk, *iv)
+		if len(chunk) == cap(chunk) {
+			acc.ObserveChunk(chunk)
+			chunk = chunk[:0]
+		}
+	}
+	acc.ObserveChunk(chunk)
+	if got := acc.Result(); got != want {
+		t.Fatalf("chunked accumulation %+v != materialized %+v", got, want)
+	}
+
+	// Sharded + merged observation.
+	a, b := NewCoVAccumulator(IntervalPhase, CPIMetric), NewCoVAccumulator(IntervalPhase, CPIMetric)
+	for i, iv := range res.Intervals {
+		if i%2 == 0 {
+			a.Observe(iv)
+		} else {
+			b.Observe(iv)
+		}
+	}
+	a.Merge(b)
+	got := a.Result()
+	if got.Phases != want.Phases || got.Intervals != want.Intervals {
+		t.Fatalf("merged accumulation %+v != %+v", got, want)
+	}
+	if d := got.CoV - want.CoV; d > 1e-9 || d < -1e-9 {
+		t.Fatalf("merged CoV %v != %v", got.CoV, want.CoV)
+	}
+}
+
 func TestConfigValidation(t *testing.T) {
 	if _, err := Run(Config{}); err == nil {
 		t.Error("nil program accepted")
@@ -161,6 +230,164 @@ func TestConfigValidation(t *testing.T) {
 	cfg.Markers = nil
 	if _, err := Run(*cfg); err == nil {
 		t.Error("missing boundary source accepted")
+	}
+}
+
+// copyIntervals deep-copies a streamed chunk (the tracer recycles chunk
+// and BBV storage after the sink returns).
+func copyIntervals(chunk []Interval) []Interval {
+	out := make([]Interval, len(chunk))
+	for i, iv := range chunk {
+		out[i] = iv
+		out[i].BBV = bbv.Vector{
+			Idx: append([]int32(nil), iv.BBV.Idx...),
+			Val: append([]float64(nil), iv.BBV.Val...),
+		}
+	}
+	return out
+}
+
+func sameIntervals(t *testing.T, got []Interval, want []*Interval) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("streamed %d intervals, materialized %d", len(got), len(want))
+	}
+	for i := range got {
+		g, w := &got[i], want[i]
+		if g.Index != w.Index || g.Start != w.Start || g.End != w.End ||
+			g.PhaseID != w.PhaseID || g.Perf != w.Perf {
+			t.Fatalf("interval %d differs: streamed %+v, materialized %+v", i, *g, *w)
+		}
+		if len(g.BBV.Idx) != len(w.BBV.Idx) {
+			t.Fatalf("interval %d BBV size differs", i)
+		}
+		for j := range g.BBV.Idx {
+			if g.BBV.Idx[j] != w.BBV.Idx[j] || g.BBV.Val[j] != w.BBV.Val[j] {
+				t.Fatalf("interval %d BBV entry %d differs", i, j)
+			}
+		}
+	}
+}
+
+// Streaming emission must be observationally identical to materializing:
+// same intervals, same BBVs, same totals — in both cutting modes, with a
+// chunk size small enough to force many flush/recycle cycles.
+func TestStreamingMatchesMaterialized(t *testing.T) {
+	for _, mode := range []string{"marker", "fixed"} {
+		t.Run(mode, func(t *testing.T) {
+			cfg, _ := compileAndMark(t, 50_000)
+			if mode == "fixed" {
+				cfg.Markers = nil
+				cfg.FixedLen = 20_000
+			}
+			want, err := Run(*cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			scfg := *cfg
+			scfg.ChunkSize = 4
+			var got []Interval
+			backings := map[*Interval]bool{}
+			scfg.Sink = func(chunk []Interval) error {
+				if len(chunk) > scfg.ChunkSize {
+					t.Errorf("chunk of %d exceeds ChunkSize %d", len(chunk), scfg.ChunkSize)
+				}
+				backings[&chunk[0]] = true
+				got = append(got, copyIntervals(chunk)...)
+				return nil
+			}
+			sres, err := Run(scfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sres.Intervals != nil {
+				t.Fatal("streaming run materialized intervals")
+			}
+			if sres.Instructions != want.Instructions || sres.Total != want.Total ||
+				sres.MarkerFires != want.MarkerFires || sres.NumBlocks != want.NumBlocks {
+				t.Fatalf("streaming totals differ: %+v vs %+v", sres, want)
+			}
+			sameIntervals(t, got, want.Intervals)
+			// Bounded memory, structurally: every chunk was the same
+			// recycled arena, not a fresh allocation per flush.
+			if len(backings) != 1 {
+				t.Fatalf("sink saw %d distinct chunk arenas, want 1 (recycled)", len(backings))
+			}
+			if len(got) <= scfg.ChunkSize {
+				t.Fatalf("only %d intervals: chunk recycling untested", len(got))
+			}
+		})
+	}
+}
+
+// A sink error aborts the run and is surfaced by Run.
+func TestStreamingSinkError(t *testing.T) {
+	cfg, _ := compileAndMark(t, 50_000)
+	cfg.ChunkSize = 2
+	calls := 0
+	cfg.Sink = func(chunk []Interval) error {
+		calls++
+		return fmt.Errorf("sink full")
+	}
+	if _, err := Run(*cfg); err == nil || !strings.Contains(err.Error(), "sink full") {
+		t.Fatalf("err = %v, want wrapped sink error", err)
+	}
+	if calls != 1 {
+		t.Fatalf("sink called %d times after erroring, want 1", calls)
+	}
+}
+
+// Scale=N must behave as one N×-long execution: N× the instructions,
+// contiguous tiling across repetition boundaries, cumulative counters.
+func TestScaleAmplifies(t *testing.T) {
+	cfg, _ := compileAndMark(t, 50_000)
+	single, err := Run(*cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.Scale = 3
+	amp, err := Run(*cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if amp.Instructions != 3*single.Instructions {
+		t.Fatalf("scaled instructions %d, want 3×%d", amp.Instructions, single.Instructions)
+	}
+	if amp.MarkerFires < 3*single.MarkerFires {
+		t.Fatalf("scaled marker fires %d < 3×%d", amp.MarkerFires, single.MarkerFires)
+	}
+	prevEnd := uint64(0)
+	var total uint64
+	for _, iv := range amp.Intervals {
+		if iv.Start != prevEnd {
+			t.Fatalf("interval %d starts at %d, previous ended at %d", iv.Index, iv.Start, prevEnd)
+		}
+		if iv.Len() == 0 {
+			t.Fatalf("zero-length interval %d", iv.Index)
+		}
+		prevEnd = iv.End
+		total += iv.Len()
+	}
+	if total != amp.Instructions {
+		t.Fatalf("intervals cover %d of %d", total, amp.Instructions)
+	}
+	// Per-interval counters still sum to totals across resets.
+	var ins uint64
+	for _, iv := range amp.Intervals {
+		ins += iv.Perf.Instrs
+	}
+	if ins != amp.Total.Instrs {
+		t.Fatalf("per-interval instrs %d != total %d", ins, amp.Total.Instrs)
+	}
+	// Determinism: a scaled run is a repetition of identical executions,
+	// so the first rep's intervals must reproduce the single run's.
+	for i, iv := range single.Intervals[:len(single.Intervals)-1] {
+		a := amp.Intervals[i]
+		if a.Start != iv.Start || a.End != iv.End || a.PhaseID != iv.PhaseID {
+			t.Fatalf("rep 1 interval %d differs from single run: %+v vs %+v", i, *a, *iv)
+		}
 	}
 }
 
