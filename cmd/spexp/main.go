@@ -7,6 +7,8 @@
 //	spexp -fig 7            # one figure: 3,4,5,7,8,9,10,11,12
 //	spexp -fig crossbinary  # the §6.2.1 cross-binary study
 //	spexp -fig speed        # the §5.1 selection-cost table
+//	spexp -fig placement    # minimum-cost marker placement, full vs minimized
+//	spexp -fig placement -placement-modes limit  # one minimized mode (cross,limit)
 //	spexp -fig all -j 8     # profile workloads on 8 workers
 //
 //	spexp -check            # correctness harness: invariant suite over all workloads
@@ -39,7 +41,8 @@
 // likewise goes to stderr or to the files named by flags, never stdout.
 //
 // Naming a figure that does not exist is an error (exit 2), not a silent
-// no-op.
+// no-op; the same convention covers -bench-stages stage names and
+// -placement-modes mode names.
 package main
 
 import (
@@ -58,7 +61,8 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 3,4,5,7,8,9,10,11,12,crossbinary,speed,scales,all")
+	fig := flag.String("fig", "all", "figure to regenerate: 3,4,5,7,8,9,10,11,12,crossbinary,speed,scales,placement,all")
+	placementModes := flag.String("placement-modes", "", "with -fig placement: comma-separated minimized-mode subset to report (cross,limit; default all; unknown names exit 2)")
 	checkRun := flag.Bool("check", false, "run the correctness harness instead of figures: differential backend oracle, segmentation/clustering invariants, detector/instrumentation equivalence over every workload (exit 1 on any violation)")
 	benchRun := flag.Bool("bench", false, "benchmark the hot-path stages (internal/hotbench) instead of generating figures, recording ns/op, allocs/op and throughput per stage")
 	benchOut := flag.String("bench-out", "BENCH_hotpath.json", "with -bench: write/merge the phasemark/bench-hotpath/v2 report here")
@@ -118,6 +122,10 @@ func main() {
 
 	s := experiments.NewSuite()
 	s.SetParallelism(*jobs)
+	if err := s.SetPlacementModes(*placementModes); err != nil {
+		fmt.Fprintf(os.Stderr, "spexp: %v\n", err)
+		os.Exit(2)
+	}
 	ran := 0
 	for _, ff := range experiments.Figures {
 		if !want["all"] && !want[ff.Name] {

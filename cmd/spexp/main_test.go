@@ -3,6 +3,8 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"phasemark/internal/experiments"
 )
 
 func TestParseFigsAcceptsKnownNamesAndAlias(t *testing.T) {
@@ -33,5 +35,24 @@ func TestParseFigsRejectsUnknownNames(t *testing.T) {
 	// A single typo is also fatal — no silent partial run.
 	if _, err := parseFigs("al"); err == nil {
 		t.Error("expected an error for \"al\"")
+	}
+}
+
+func TestSetPlacementModesMirrorsFigConventions(t *testing.T) {
+	s := experiments.NewSuite()
+	if err := s.SetPlacementModes(" limit , cross"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetPlacementModes(""); err != nil {
+		t.Fatal(err)
+	}
+	err := s.SetPlacementModes("limit,bogus")
+	if err == nil {
+		t.Fatal("expected an error for unknown placement modes")
+	}
+	for _, frag := range []string{`"bogus"`, "known:", "cross", "limit"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("error %q missing %q", err, frag)
+		}
 	}
 }

@@ -253,6 +253,104 @@ func DetectorInstrument(prog *minivm.Program, set *core.MarkerSet, args ...int64
 	return nil
 }
 
+// Placement verifies the core.MinimizeMarkers contract for one program
+// and input: min must be a strict-or-equal subset of full with every
+// surviving marker unchanged, both sets run to the same instruction total,
+// and the minimized firing sequence must be exactly the full sequence
+// restricted to the kept markers — same instants, same markers, indices
+// remapped. That restriction property is what makes pruning safe: kept
+// markers fire identically with or without their pruned peers. When
+// iupper > 0 the tiling bound is enforced too: the longest uncut stretch
+// under the minimized set may exceed the full set's longest stretch by at
+// most iupper (one pruned-dominator gap). Pass iupper == 0 to skip the
+// bound — e.g. for cross-trained sets, where profile-derived static bounds
+// do not transfer to the run input.
+func Placement(prog *minivm.Program, full, min *core.MarkerSet, iupper uint64, args ...int64) error {
+	if full == nil || min == nil {
+		return fmt.Errorf("placement: nil marker set")
+	}
+	if len(min.Markers) > len(full.Markers) {
+		return fmt.Errorf("placement: minimized set has %d markers, full set %d",
+			len(min.Markers), len(full.Markers))
+	}
+	if len(full.Markers) > 0 && len(min.Markers) == 0 {
+		return fmt.Errorf("placement: minimization emptied a %d-marker set", len(full.Markers))
+	}
+	fullBy := full.ByKey()
+	remap := make(map[int]int, len(min.Markers)) // full index -> min index
+	for i, m := range min.Markers {
+		fi, ok := fullBy[m.Key]
+		if !ok {
+			return fmt.Errorf("placement: marker %s not in the full set", m.Key)
+		}
+		if full.Markers[fi] != m {
+			return fmt.Errorf("placement: marker %s changed by minimization", m.Key)
+		}
+		remap[fi] = i
+	}
+	fullSeq, mf, err := core.DetectFirings(prog, full, args...)
+	if err != nil {
+		return fmt.Errorf("placement: full detect: %w", err)
+	}
+	minSeq, mm, err := core.DetectFirings(prog, min, args...)
+	if err != nil {
+		return fmt.Errorf("placement: minimized detect: %w", err)
+	}
+	if mf.Instructions() != mm.Instructions() {
+		return fmt.Errorf("placement: instruction totals differ: full=%d minimized=%d",
+			mf.Instructions(), mm.Instructions())
+	}
+	k := 0
+	for _, f := range fullSeq {
+		mi, kept := remap[f.Marker]
+		if !kept {
+			continue
+		}
+		if k >= len(minSeq) {
+			return fmt.Errorf("placement: kept marker %s firing at %d missing from minimized run",
+				min.Markers[mi].Key, f.At)
+		}
+		if minSeq[k].Marker != mi || minSeq[k].At != f.At {
+			return fmt.Errorf("placement: firing %d diverges: full restricted to kept gives marker %d at %d, minimized run gives marker %d at %d",
+				k, mi, f.At, minSeq[k].Marker, minSeq[k].At)
+		}
+		k++
+	}
+	if k != len(minSeq) {
+		return fmt.Errorf("placement: minimized run fired %d times, restriction of full predicts %d",
+			len(minSeq), k)
+	}
+	if iupper > 0 {
+		total := mf.Instructions()
+		fullGap := maxFiringGap(fullSeq, total)
+		minGap := maxFiringGap(minSeq, total)
+		if minGap > fullGap+iupper {
+			return fmt.Errorf("placement: longest uncut stretch grew from %d to %d, beyond the iupper=%d allowance",
+				fullGap, minGap, iupper)
+		}
+	}
+	return nil
+}
+
+// maxFiringGap returns the longest uncut stretch over a run of total
+// instructions (duplicate cut instants collapse).
+func maxFiringGap(seq []core.Firing, total uint64) uint64 {
+	var gap, prev uint64
+	for _, f := range seq {
+		if f.At == prev {
+			continue
+		}
+		if d := f.At - prev; d > gap {
+			gap = d
+		}
+		prev = f.At
+	}
+	if d := total - prev; d > gap {
+		gap = d
+	}
+	return gap
+}
+
 // Backends compiles src with each differential-oracle backend: the -O0
 // register binary (the analysis reference), the optimizing register
 // build, and the stack-machine ISA.

@@ -42,6 +42,12 @@ type SelectOptions struct {
 	// MinCount is the minimum traversal count for an edge to be considered
 	// a repeating behavior (a CoV needs at least two samples). Zero means 2.
 	MinCount uint64
+	// Minimize runs the placement-optimization pass (MinimizeMarkers) on
+	// the selected set: redundant markers — provably covered through the
+	// call-loop graph's dominance/containment structure — are pruned so
+	// detectors pay per-site cost only where it buys cuts. Firings of the
+	// kept markers are unchanged; see MinimizeMarkers for the contract.
+	Minimize bool
 
 	// Ablation switches (not part of the paper's algorithm; used by the
 	// design-choice benchmarks):
@@ -243,6 +249,9 @@ func SelectMarkers(g *Graph, opts SelectOptions) *MarkerSet {
 		if m.GroupN > 1 {
 			obsSelectMerged.Inc()
 		}
+	}
+	if opts.Minimize {
+		set, _ = MinimizeMarkers(g, set, MinimizeOptions{})
 	}
 	return set
 }

@@ -105,6 +105,28 @@ func (s *Suite) checkWorkload(w *workloads.Workload) ([]namedCheck, error) {
 	}
 	add("instrument", check.DetectorInstrument(d.prog, set, w.Ref...))
 	add("crossbin", check.CrossBinary(w.Source, d.prog, set, w.Ref...))
+
+	// (f) Placement invariants: the minimized marker placement must fire as
+	// the exact restriction of the full set (check.Placement, with the
+	// stretch bound enforced where the selection pinned one), and the
+	// minimized cut sequence must still segment execution per the tiling
+	// invariant — in both cutting modes.
+	for _, mm := range minimizedModes {
+		full, err := d.markerSet(mm.Full)
+		if err != nil {
+			return nil, err
+		}
+		min, err := d.markerSet(mm.Min)
+		if err != nil {
+			return nil, err
+		}
+		add("placement/"+mm.Full, check.Placement(d.prog, full, min, mm.IUpper, w.Ref...))
+		res, err := d.traced(mm.Min)
+		if err != nil {
+			return nil, err
+		}
+		add("placement-seg/"+mm.Full, check.Segmentation(res, len(min.Markers)))
+	}
 	return out, nil
 }
 

@@ -26,6 +26,10 @@ import (
 type Suite struct {
 	jobs int
 	data cellMap[string, *wdata]
+
+	// placementModes filters the Placement table's minimized-mode columns
+	// (nil = all; see SetPlacementModes).
+	placementModes map[string]bool
 }
 
 // NewSuite builds an empty suite cache with parallelism GOMAXPROCS.
@@ -133,6 +137,27 @@ var markerConfigs = []struct {
 	{"no-limit cross", false, core.SelectOptions{ILower: ILower}},
 	{"no-limit self", true, core.SelectOptions{ILower: ILower}},
 	{"limit 100k-2m", true, core.SelectOptions{ILower: LimitMin, MaxLimit: LimitMax}},
+
+	// Minimized placements (core.MinimizeMarkers) of the two configs the
+	// placement table and check.Placement compare against their full
+	// counterparts above.
+	{"min no-limit cross", false, core.SelectOptions{ILower: ILower, Minimize: true}},
+	{"min limit 100k-2m", true, core.SelectOptions{ILower: LimitMin, MaxLimit: LimitMax, Minimize: true}},
+}
+
+// minimizedModes pairs each minimizable marker config with its minimized
+// counterpart and the stretch bound its placement must respect on the
+// profiled input (0 = unbounded: the cross config selects on train and
+// runs on ref, so profile-derived static bounds do not transfer). Short is
+// the CLI name `spexp -placement-modes` selects columns by.
+var minimizedModes = []struct {
+	Short     string
+	Full, Min string
+	Ref       bool // which profile graph the placement cost is priced on
+	IUpper    uint64
+}{
+	{"cross", "no-limit cross", "min no-limit cross", false, 0},
+	{"limit", "limit 100k-2m", "min limit 100k-2m", true, LimitMax},
 }
 
 func (d *wdata) markerSet(name string) (*core.MarkerSet, error) {

@@ -79,9 +79,15 @@ func StagesScaled(scale int) []Stage {
 		},
 		{
 			Name: "detector_fire",
-			Desc: "marker detection: art on its train input under a walker-based detector for its own markers",
+			Desc: "marker detection: art on its train input under a walker-based detector for its own limit-mode markers (100k-2M with loop-iteration grouping — the config with real probe traffic, ~4% of instructions; the no-limit selection's markers sit on edges traversed a few dozen times, leaving nothing to detect)",
 			Unit: "Minstr/s",
 			New:  newDetectorFire,
+		},
+		{
+			Name: "detector_fire_min",
+			Desc: "marker detection after minimum-cost placement: detector_fire's fixture with the core.MinimizeMarkers placement (setup verifies the kept markers fire as the exact restriction of the full set)",
+			Unit: "Minstr/s",
+			New:  newDetectorFireMin,
 		},
 		{
 			Name: "trace_fixed",
@@ -241,18 +247,82 @@ func markerSet(prog *minivm.Program, args []int64) (*core.MarkerSet, error) {
 	return core.SelectMarkers(g, core.SelectOptions{ILower: markerILower}), nil
 }
 
+// detectorSelect is the selection the detector stages run under: the
+// limit config, whose loop-iteration-grouped markers sit on edges with
+// real traversal traffic. The pair must agree — detector_fire_min is
+// exactly this selection after core.MinimizeMarkers.
+var detectorSelect = core.SelectOptions{ILower: markerILower, MaxLimit: 2_000_000}
+
 func newDetectorFire() (func() (uint64, error), error) {
 	prog, w, err := compiled("art", false)
 	if err != nil {
 		return nil, err
 	}
-	set, err := markerSet(prog, w.Train)
+	g, err := core.ProfileRun(prog, w.Train...)
 	if err != nil {
 		return nil, err
 	}
+	set := core.SelectMarkers(g, detectorSelect)
 	loops := minivm.FindLoops(prog)
 	return func() (uint64, error) {
 		det := core.NewDetector(prog, loops, set, nil)
+		m := minivm.NewMachine(prog, det)
+		if _, err := m.Run(w.Train...); err != nil {
+			return 0, err
+		}
+		return m.Instructions(), nil
+	}, nil
+}
+
+// newDetectorFireMin is detector_fire on the minimized placement: same
+// program, input, and marker selection, with core.MinimizeMarkers pruning
+// the redundant sites first. Setup fails rather than benchmark a placement
+// that changes behavior: the minimized run's firing sequence must be the
+// full run's restricted to the kept markers, instant for instant.
+func newDetectorFireMin() (func() (uint64, error), error) {
+	prog, w, err := compiled("art", false)
+	if err != nil {
+		return nil, err
+	}
+	g, err := core.ProfileRun(prog, w.Train...)
+	if err != nil {
+		return nil, err
+	}
+	set := core.SelectMarkers(g, detectorSelect)
+	min, rep := core.MinimizeMarkers(g, set, core.MinimizeOptions{IUpper: detectorSelect.MaxLimit})
+	if rep.Kept >= rep.Full || rep.Kept == 0 {
+		return nil, fmt.Errorf("detector_fire_min: degenerate placement: kept %d of %d markers", rep.Kept, rep.Full)
+	}
+	fullSeq, _, err := core.DetectFirings(prog, set, w.Train...)
+	if err != nil {
+		return nil, err
+	}
+	minSeq, _, err := core.DetectFirings(prog, min, w.Train...)
+	if err != nil {
+		return nil, err
+	}
+	fullBy := set.ByKey()
+	remap := make(map[int]int, len(min.Markers))
+	for i, m := range min.Markers {
+		remap[fullBy[m.Key]] = i
+	}
+	k := 0
+	for _, f := range fullSeq {
+		mi, kept := remap[f.Marker]
+		if !kept {
+			continue
+		}
+		if k >= len(minSeq) || minSeq[k].Marker != mi || minSeq[k].At != f.At {
+			return nil, fmt.Errorf("detector_fire_min: minimized firings diverge from the full set's restriction at firing %d", k)
+		}
+		k++
+	}
+	if k != len(minSeq) {
+		return nil, fmt.Errorf("detector_fire_min: minimized run fired %d times, restriction predicts %d", len(minSeq), k)
+	}
+	loops := minivm.FindLoops(prog)
+	return func() (uint64, error) {
+		det := core.NewDetector(prog, loops, min, nil)
 		m := minivm.NewMachine(prog, det)
 		if _, err := m.Run(w.Train...); err != nil {
 			return 0, err

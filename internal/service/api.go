@@ -42,8 +42,8 @@ const (
 
 // apiVersion tags the canonical request encoding. Bump it whenever a
 // request or response schema changes shape so old stored artifacts are
-// simply never addressed again.
-const apiVersion = "phased/v1"
+// simply never addressed again. (v2: SelectSpec grew the minimize knob.)
+const apiVersion = "phased/v2"
 
 // Default knobs, mirroring the experiment suite (internal/experiments
 // table.go) so service results line up with the spexp figures.
@@ -101,6 +101,10 @@ type SelectSpec struct {
 	ProcsOnly bool    `json:"procs_only"`
 	CovScale  float64 `json:"cov_scale"`
 	MinCount  uint64  `json:"min_count"`
+	// Minimize runs the minimum-cost placement pass (core.MinimizeMarkers)
+	// on the selected set. Part of the canonical encoding, so minimized and
+	// full runs address different artifacts.
+	Minimize bool `json:"minimize"`
 }
 
 // canon applies selection defaults and rejects values with no canonical

@@ -380,3 +380,59 @@ func TestBatchEndpoint(t *testing.T) {
 		t.Errorf("invalid items: statuses %d, %d, want 400s", resp.Results[3].Status, resp.Results[4].Status)
 	}
 }
+
+// TestMinimizeDistinguishesKeysAndShrinksSelection pins the canonical-key
+// contract for the minimize knob: a minimized select (and any segment
+// built on it) must address a different artifact than the full selection,
+// and over HTTP the minimized response must be a strict, non-empty subset
+// of the full marker set.
+func TestMinimizeDistinguishesKeysAndShrinksSelection(t *testing.T) {
+	full, err := service.SelectRequest{Workload: itWorkload}.Canon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	min := full
+	min.Options.Minimize = true
+	if min, err = min.Canon(); err != nil {
+		t.Fatal(err)
+	}
+	if full.Key() == min.Key() {
+		t.Fatal("minimize knob does not change the select key: minimized runs would alias full artifacts")
+	}
+	segFull, err := service.SegmentRequest{Workload: itWorkload, Select: &full}.Canon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	segMin, err := service.SegmentRequest{Workload: itWorkload, Select: &min}.Canon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if segFull.Key() == segMin.Key() {
+		t.Fatal("minimize knob does not change the segment key")
+	}
+
+	_, ts := newTestServer(t, service.Config{})
+	var got [2]service.SelectResponse
+	for i, req := range []service.SelectRequest{full, min} {
+		code, body, _ := postJSON(t, ts.URL+service.EndpointSelect, service.Encode(req))
+		if code != http.StatusOK {
+			t.Fatalf("select (minimize=%v): %d %s", req.Options.Minimize, code, body)
+		}
+		if err := json.Unmarshal(body, &got[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nf, nm := len(got[0].Markers), len(got[1].Markers)
+	if nm == 0 || nm >= nf {
+		t.Fatalf("minimized selection has %d markers, full has %d; want a strict, non-empty subset", nm, nf)
+	}
+	byBlock := map[service.MarkerInfo]bool{}
+	for _, m := range got[0].Markers {
+		byBlock[m] = true
+	}
+	for _, m := range got[1].Markers {
+		if !byBlock[m] {
+			t.Errorf("minimized marker %+v not present in the full selection", m)
+		}
+	}
+}

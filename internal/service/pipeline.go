@@ -241,6 +241,7 @@ func (s SelectSpec) SelectOptions() core.SelectOptions {
 		ProcsOnly: s.ProcsOnly,
 		CovScale:  s.CovScale,
 		MinCount:  s.MinCount,
+		Minimize:  s.Minimize,
 	}
 }
 
