@@ -15,12 +15,14 @@ import (
 // comma-separated subset of stages (empty = all); naming a stage that
 // does not exist is a usage error (exit 2), matching the -fig
 // convention. scale is the trace amplifier applied to the streaming
-// stage (see hotbench.StagesScaled). An existing run with the same label
+// stages and workers the pipeline-parallel stage's worker count (see
+// hotbench.StagesScaled); main validates both before calling. An
+// existing run with the same label
 // is updated stage-wise; other runs and unmeasured stages are preserved,
 // so the file accumulates the before/after history of performance work.
 // Progress and per-stage results go to stderr; stdout is untouched.
-func runBench(outPath, label, stageFilter string, scale int) error {
-	stages := hotbench.StagesScaled(scale)
+func runBench(outPath, label, stageFilter string, scale, workers int) error {
+	stages := hotbench.StagesScaled(scale, workers)
 	if stageFilter != "" {
 		var names []string
 		for _, n := range strings.Split(stageFilter, ",") {
@@ -29,7 +31,7 @@ func runBench(outPath, label, stageFilter string, scale int) error {
 			}
 		}
 		var err error
-		stages, err = hotbench.StagesNamed(names, scale)
+		stages, err = hotbench.StagesNamed(names, scale, workers)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "spexp: %v\n", err)
 			os.Exit(2)

@@ -68,7 +68,8 @@ func main() {
 	benchOut := flag.String("bench-out", "BENCH_hotpath.json", "with -bench: write/merge the phasemark/bench-hotpath/v2 report here")
 	benchLabel := flag.String("bench-label", "local", "with -bench: label for this measurement run (an existing run with the same label is updated stage-wise)")
 	benchStages := flag.String("bench-stages", "", "with -bench: comma-separated stage subset to measure (default all; unknown names exit 2)")
-	benchScale := flag.Int("scale", 1, "with -bench: trace amplifier for the streaming stage — the workload executes N times as one long trace (memory stays bounded; see pipeline_e2e_stream)")
+	benchScale := flag.Int("scale", 1, "with -bench: trace amplifier for the streaming stages — the workload executes N times as one long trace (memory stays bounded; see pipeline_e2e_stream); must be >= 1")
+	benchWorkers := flag.Int("workers", 0, "with -bench: worker count for the pipeline-parallel streaming stage (pipeline_e2e_stream_par); 0 = GOMAXPROCS, negative is a usage error")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "workloads to evaluate in parallel")
 	metricsOut := flag.String("metrics", "", "write a metrics snapshot (counters, histograms, per-stage durations) to this JSON file, plus BENCH_obs.json with per-stage totals")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON file of every pipeline stage span")
@@ -87,8 +88,22 @@ func main() {
 		obs.SetTraceCapture(true)
 	}
 
+	// Shared knob validation: a -scale below 1 or a negative -workers is a
+	// usage error (exit 2, like unknown figure or stage names) — never a
+	// silent clamp that would mislabel what a benchmark actually measured.
+	if *benchScale < 1 {
+		fmt.Fprintf(os.Stderr, "spexp: -scale must be >= 1, got %d\n", *benchScale)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *benchWorkers < 0 {
+		fmt.Fprintf(os.Stderr, "spexp: -workers must be >= 0 (0 = GOMAXPROCS), got %d\n", *benchWorkers)
+		flag.Usage()
+		os.Exit(2)
+	}
+
 	if *benchRun {
-		if err := runBench(*benchOut, *benchLabel, *benchStages, *benchScale); err != nil {
+		if err := runBench(*benchOut, *benchLabel, *benchStages, *benchScale, *benchWorkers); err != nil {
 			fmt.Fprintf(os.Stderr, "spexp: %v\n", err)
 			os.Exit(1)
 		}

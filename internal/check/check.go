@@ -117,28 +117,11 @@ func Streaming(cfg trace.Config, want *trace.Result) error {
 	next := 0
 	cfg.ChunkSize = 64
 	cfg.Sink = func(chunk []trace.Interval) error {
-		for i := range chunk {
-			got := &chunk[i]
-			if next >= len(want.Intervals) {
-				return fmt.Errorf("streamed interval %d beyond the %d materialized", got.Index, len(want.Intervals))
-			}
-			w := want.Intervals[next]
-			if got.Index != w.Index || got.Start != w.Start || got.End != w.End ||
-				got.PhaseID != w.PhaseID || got.Perf != w.Perf {
-				return fmt.Errorf("interval %d: streamed {idx %d [%d,%d) phase %d} vs materialized {idx %d [%d,%d) phase %d}",
-					next, got.Index, got.Start, got.End, got.PhaseID, w.Index, w.Start, w.End, w.PhaseID)
-			}
-			if len(got.BBV.Idx) != len(w.BBV.Idx) {
-				return fmt.Errorf("interval %d: streamed BBV has %d entries, materialized %d",
-					next, len(got.BBV.Idx), len(w.BBV.Idx))
-			}
-			for j := range got.BBV.Idx {
-				if got.BBV.Idx[j] != w.BBV.Idx[j] || got.BBV.Val[j] != w.BBV.Val[j] {
-					return fmt.Errorf("interval %d: BBV entry %d differs", next, j)
-				}
-			}
-			next++
+		n, err := compareStreamed(chunk, want.Intervals, next)
+		if err != nil {
+			return err
 		}
+		next = n
 		proj.ObserveChunk(chunk)
 		return nil
 	}
@@ -171,6 +154,137 @@ func Streaming(cfg trace.Config, want *trace.Result) error {
 	for i := range batchW {
 		if weights[i] != batchW[i] {
 			return fmt.Errorf("streaming: projection weight %d differs", i)
+		}
+	}
+	return nil
+}
+
+// compareStreamed checks one streamed chunk against the materialized
+// reference starting at interval index next, returning the new cursor.
+// Every field must match bit-for-bit, including each BBV entry.
+func compareStreamed(chunk []trace.Interval, want []*trace.Interval, next int) (int, error) {
+	for i := range chunk {
+		got := &chunk[i]
+		if next >= len(want) {
+			return next, fmt.Errorf("streamed interval %d beyond the %d materialized", got.Index, len(want))
+		}
+		w := want[next]
+		if got.Index != w.Index || got.Start != w.Start || got.End != w.End ||
+			got.PhaseID != w.PhaseID || got.Perf != w.Perf {
+			return next, fmt.Errorf("interval %d: streamed {idx %d [%d,%d) phase %d} vs materialized {idx %d [%d,%d) phase %d}",
+				next, got.Index, got.Start, got.End, got.PhaseID, w.Index, w.Start, w.End, w.PhaseID)
+		}
+		if len(got.BBV.Idx) != len(w.BBV.Idx) {
+			return next, fmt.Errorf("interval %d: streamed BBV has %d entries, materialized %d",
+				next, len(got.BBV.Idx), len(w.BBV.Idx))
+		}
+		for j := range got.BBV.Idx {
+			if got.BBV.Idx[j] != w.BBV.Idx[j] || got.BBV.Val[j] != w.BBV.Val[j] {
+				return next, fmt.Errorf("interval %d: BBV entry %d differs", next, j)
+			}
+		}
+		next++
+	}
+	return next, nil
+}
+
+// StreamingParallel verifies the pipeline-parallel engine's bit-identity
+// claim: a trace.Run with Workers set — the record/replay split at scale
+// 1, plus parallel chunk consumers (StreamProjector, StreamKMeans,
+// CoVAccumulator via their ObserveChunkPar paths) — must reproduce the
+// materialized reference interval-for-interval AND leave every analysis
+// accumulator in a bit-identical state to the serial fold of the same
+// reference, at workers 1, 4, and 16. cfg must be the configuration want
+// was produced with (any Sink/ChunkSize/Workers in it is replaced).
+func StreamingParallel(cfg trace.Config, want *trace.Result) error {
+	if want == nil {
+		return fmt.Errorf("streaming-parallel: nil reference result")
+	}
+	const dims, seed, streamK = 15, 0xC1, 8
+	kmOpts := simpoint.Options{ForceK: streamK, Dims: dims, Seed: seed, Restarts: 2, MaxIters: 40, Workers: 1}
+
+	// Reference accumulator states: the serial fold over the materialized
+	// intervals. (The serial stream reproduces these bit-for-bit per
+	// Streaming; re-deriving them from want avoids a third trace run.)
+	refProj := simpoint.NewStreamProjector(want.NumBlocks, dims, seed)
+	refKM := simpoint.NewStreamKMeans(want.NumBlocks, kmOpts)
+	refCov := trace.NewCoVAccumulator(trace.IntervalPhase, trace.CPIMetric)
+	for _, iv := range want.Intervals {
+		refProj.Observe(iv)
+		refKM.Observe(iv)
+		refCov.Observe(iv)
+	}
+	refPts, refW := refProj.Matrix()
+	refRes := refKM.Finish()
+	refCovRes := refCov.Result()
+
+	for _, workers := range []int{1, 4, 16} {
+		c := cfg
+		c.ChunkSize = 64
+		c.Workers = workers
+		proj := simpoint.NewStreamProjector(want.NumBlocks, dims, seed)
+		km := simpoint.NewStreamKMeans(want.NumBlocks, kmOpts)
+		cov := trace.NewCoVAccumulator(trace.IntervalPhase, trace.CPIMetric)
+		next := 0
+		c.Sink = func(chunk []trace.Interval) error {
+			n, err := compareStreamed(chunk, want.Intervals, next)
+			if err != nil {
+				return err
+			}
+			next = n
+			proj.ObserveChunkPar(chunk, workers)
+			km.ObserveChunkPar(chunk, workers)
+			cov.ObserveChunkPar(chunk, workers)
+			return nil
+		}
+		sres, err := trace.Run(c)
+		if err != nil {
+			return fmt.Errorf("streaming-parallel: workers=%d: %w", workers, err)
+		}
+		if next != len(want.Intervals) {
+			return fmt.Errorf("streaming-parallel: workers=%d: %d intervals streamed, %d materialized",
+				workers, next, len(want.Intervals))
+		}
+		if sres.Instructions != want.Instructions || sres.Total != want.Total ||
+			sres.MarkerFires != want.MarkerFires || sres.NumBlocks != want.NumBlocks {
+			return fmt.Errorf("streaming-parallel: workers=%d: totals differ: instrs %d/%d, fires %d/%d",
+				workers, sres.Instructions, want.Instructions, sres.MarkerFires, want.MarkerFires)
+		}
+
+		pts, weights := proj.Matrix()
+		if pts.N != refPts.N {
+			return fmt.Errorf("streaming-parallel: workers=%d: projected %d rows, reference %d", workers, pts.N, refPts.N)
+		}
+		for i := range refPts.Data {
+			if pts.Data[i] != refPts.Data[i] {
+				return fmt.Errorf("streaming-parallel: workers=%d: projection differs at element %d (row %d)",
+					workers, i, i/dims)
+			}
+		}
+		for i := range refW {
+			if weights[i] != refW[i] {
+				return fmt.Errorf("streaming-parallel: workers=%d: projection weight %d differs", workers, i)
+			}
+		}
+
+		res := km.Finish()
+		if res.K != refRes.K || res.Points != refRes.Points || res.SSE != refRes.SSE {
+			return fmt.Errorf("streaming-parallel: workers=%d: clustering K/points/SSE %d/%d/%v, reference %d/%d/%v",
+				workers, res.K, res.Points, res.SSE, refRes.K, refRes.Points, refRes.SSE)
+		}
+		for i := range refRes.Centers.Data {
+			if res.Centers.Data[i] != refRes.Centers.Data[i] {
+				return fmt.Errorf("streaming-parallel: workers=%d: centroid data differs at %d", workers, i)
+			}
+		}
+		for i := range refRes.Mass {
+			if res.Mass[i] != refRes.Mass[i] {
+				return fmt.Errorf("streaming-parallel: workers=%d: centroid mass %d differs", workers, i)
+			}
+		}
+
+		if got := cov.Result(); got != refCovRes {
+			return fmt.Errorf("streaming-parallel: workers=%d: CoV %+v, reference %+v", workers, got, refCovRes)
 		}
 	}
 	return nil

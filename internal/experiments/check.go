@@ -83,6 +83,13 @@ func (s *Suite) checkWorkload(w *workloads.Workload) ([]namedCheck, error) {
 	cfgV.Markers = setLimit
 	add("stream/vli", check.Streaming(cfgV, resLimit))
 
+	// (g) Pipeline-parallel equivalence: the Workers engine (record/replay
+	// decoupling plus parallel chunk consumers) must reproduce the same
+	// references bit-for-bit at workers 1, 4, and 16 — intervals,
+	// projections, streamed clustering, and CoV — in both cutting modes.
+	add("stream-par/fixed", check.StreamingParallel(cfgF, resFixed))
+	add("stream-par/vli", check.StreamingParallel(cfgV, resLimit))
+
 	// (d) Clustering invariants over the clusterings Figures 7–9 and 11–12
 	// are built from (same cache keys: same kmax and seeds).
 	clF, resF, err := d.clustered(fixedMode(FixedLen), 10, 0xb5e)

@@ -12,6 +12,7 @@ package hotbench
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 
 	"phasemark/internal/core"
@@ -57,18 +58,29 @@ const (
 // the pipeline_e2e_stream stage.
 const streamK = 8
 
-// Stages returns the hot-path stages in reporting order at scale 1.
-func Stages() []Stage { return StagesScaled(1) }
+// Stages returns the hot-path stages in reporting order at scale 1 with
+// the default worker count.
+func Stages() []Stage { return StagesScaled(1, 0) }
 
 // StagesScaled returns the stages with the trace amplifier applied to the
-// streaming stage: pipeline_e2e_stream executes its workload scale times
-// as one long trace (trace.Config.Scale), so `spexp -bench -scale 100`
-// demonstrates bounded-memory throughput on a 100× trace. The
-// materializing stages are intentionally left at scale 1 — their memory
-// grows with the trace, which is the point of the comparison.
-func StagesScaled(scale int) []Stage {
+// streaming stages: pipeline_e2e_stream and pipeline_e2e_stream_par
+// execute their workload scale times as one long trace
+// (trace.Config.Scale), so `spexp -bench -scale 100` demonstrates
+// bounded-memory throughput on a 100× trace. The materializing stages are
+// intentionally left at scale 1 — their memory grows with the trace,
+// which is the point of the comparison.
+//
+// workers sets the pipeline-parallel stage's worker count; workers <= 0
+// selects GOMAXPROCS. scale must be >= 1 — the CLI rejects anything else
+// with exit 2 before reaching here, and this package refuses to clamp
+// silently: a benchmark labeled ×0 that silently ran ×1 would poison
+// cross-commit comparisons.
+func StagesScaled(scale, workers int) []Stage {
 	if scale < 1 {
-		scale = 1
+		panic(fmt.Sprintf("hotbench: scale must be >= 1, got %d (the CLI validates -scale)", scale))
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
 	return []Stage{
 		{
@@ -120,6 +132,12 @@ func StagesScaled(scale int) []Stage {
 			New:  newPipelineE2EStream(scale),
 		},
 		{
+			Name: "pipeline_e2e_stream_par",
+			Desc: fmt.Sprintf("pipeline_e2e_stream on the pipeline-parallel engine: trace production overlapped with parallel chunk consumers (projection, mini-batch k-means, CoV) and amplified repetitions fanned over workers, gzip train ×%d, %d workers — bit-identical to the serial stream", scale, workers),
+			Unit: "Minstr/s",
+			New:  newPipelineE2EStreamPar(scale, workers),
+		},
+		{
 			Name: "project",
 			Desc: "BBV random projection: gzip train at 10k fixed intervals, every interval BBV projected to 15 dims",
 			Unit: "Mmacs/s",
@@ -135,10 +153,11 @@ func StagesScaled(scale int) []Stage {
 }
 
 // StagesNamed resolves a list of stage names (in suite order, at the
-// given trace scale) or reports the unknown ones alongside the valid set,
-// mirroring the CLI convention for unknown figure names.
-func StagesNamed(names []string, scale int) ([]Stage, error) {
-	all := StagesScaled(scale)
+// given trace scale and worker count) or reports the unknown ones
+// alongside the valid set, mirroring the CLI convention for unknown
+// figure names.
+func StagesNamed(names []string, scale, workers int) ([]Stage, error) {
+	all := StagesScaled(scale, workers)
 	known := make(map[string]Stage, len(all))
 	order := make([]string, 0, len(all))
 	for _, st := range all {
@@ -449,6 +468,52 @@ func newPipelineE2EStream(scale int) func() (func() (uint64, error), error) {
 			}
 			if res := cov.Result(); res.Intervals != cl.Points {
 				return 0, fmt.Errorf("pipeline_e2e_stream: CoV saw %d intervals, clusterer %d", res.Intervals, cl.Points)
+			}
+			return r.Instructions, nil
+		}, nil
+	}
+}
+
+// newPipelineE2EStreamPar is pipeline_e2e_stream on the pipeline-parallel
+// engine: trace.Config.Workers > 0 decouples trace production from
+// analysis (and fans amplified repetitions over workers), and the sink
+// feeds the ObserveChunkPar consumers, which parallelize per-chunk
+// projection and metric extraction while keeping every order-sensitive
+// update sequential — so the stage's outputs are bit-identical to
+// pipeline_e2e_stream's at any worker count; only the wall clock moves.
+func newPipelineE2EStreamPar(scale, workers int) func() (func() (uint64, error), error) {
+	return func() (func() (uint64, error), error) {
+		prog, w, err := compiled("gzip", false)
+		if err != nil {
+			return nil, err
+		}
+		ucfg := uarch.DefaultConfig()
+		return func() (uint64, error) {
+			set, err := markerSet(prog, w.Train)
+			if err != nil {
+				return 0, err
+			}
+			km := simpoint.NewStreamKMeans(prog.NumBlocks, simpoint.Options{
+				ForceK: streamK, Dims: analysisDims, Seed: analysisSeed, Restarts: 2, MaxIters: 40,
+			})
+			cov := trace.NewCoVAccumulator(trace.IntervalPhase, trace.CPIMetric)
+			r, err := trace.Run(trace.Config{
+				Prog: prog, Args: w.Train, CPU: ucfg, Markers: set, Scale: scale, Workers: workers,
+				Sink: func(chunk []trace.Interval) error {
+					km.ObserveChunkPar(chunk, workers)
+					cov.ObserveChunkPar(chunk, workers)
+					return nil
+				},
+			})
+			if err != nil {
+				return 0, err
+			}
+			cl := km.Finish()
+			if cl.K < 1 || cl.Points == 0 {
+				return 0, fmt.Errorf("pipeline_e2e_stream_par: degenerate streaming clustering (K=%d over %d points)", cl.K, cl.Points)
+			}
+			if res := cov.Result(); res.Intervals != cl.Points {
+				return 0, fmt.Errorf("pipeline_e2e_stream_par: CoV saw %d intervals, clusterer %d", res.Intervals, cl.Points)
 			}
 			return r.Instructions, nil
 		}, nil

@@ -436,3 +436,51 @@ func TestMinimizeDistinguishesKeysAndShrinksSelection(t *testing.T) {
 		}
 	}
 }
+
+// TestTraceWorkersByteIdenticalResponses pins the service half of the
+// pipeline-parallel determinism contract: a server running the
+// trace-driven stages on the parallel engine (Config.TraceWorkers > 0)
+// must serve byte-for-byte the same segment and cluster responses as a
+// serial server over the same requests — the engine and the ObserveChunkPar
+// consumers change latency, never bytes.
+func TestTraceWorkersByteIdenticalResponses(t *testing.T) {
+	selectReq, err := service.SelectRequest{
+		Workload: itWorkload,
+		Options:  service.SelectSpec{ILower: 100_000, MaxLimit: 2_000_000},
+	}.Canon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	segmentReq, err := service.SegmentRequest{Workload: itWorkload, Select: &selectReq}.Canon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusterReq, err := service.ClusterRequest{Segment: segmentReq, Seed: 7}.Canon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := []struct {
+		endpoint string
+		body     []byte
+	}{
+		{service.EndpointSegment, service.Encode(segmentReq)},
+		{service.EndpointCluster, service.Encode(clusterReq)},
+	}
+
+	_, serial := newTestServer(t, service.Config{})
+	_, parallel := newTestServer(t, service.Config{TraceWorkers: 4})
+	for _, step := range steps {
+		code, want, _ := postJSON(t, serial.URL+step.endpoint, step.body)
+		if code != http.StatusOK {
+			t.Fatalf("%s (serial): status %d: %s", step.endpoint, code, want)
+		}
+		code, got, _ := postJSON(t, parallel.URL+step.endpoint, step.body)
+		if code != http.StatusOK {
+			t.Fatalf("%s (trace-workers=4): status %d: %s", step.endpoint, code, got)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: parallel-engine response differs from serial\n got: %.300s\nwant: %.300s",
+				step.endpoint, got, want)
+		}
+	}
+}

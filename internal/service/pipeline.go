@@ -281,6 +281,15 @@ type projKey struct {
 // summaries+projection); repeated identical requests are served from the
 // content-addressed response store without recomputing anything.
 type Pipeline struct {
+	// Workers is the pipeline-parallel engine's worker count for the
+	// trace-driven stages (Trace, project): 0 keeps the serial streaming
+	// path; > 0 decouples trace production from chunk analysis
+	// (trace.Config.Workers) and fans per-chunk projection over workers.
+	// Either way the streamed artifacts — and therefore the response
+	// bytes — are bit-identical; only latency changes. Set before serving
+	// requests; it is not part of any cache key for exactly that reason.
+	Workers int
+
 	progs  store.Memo[string, *minivm.Program]
 	graphs store.Memo[graphKey, *core.Graph]
 	sets   store.Memo[store.Key, *core.MarkerSet]
@@ -389,6 +398,8 @@ func (p *Pipeline) Trace(ctx context.Context, req SegmentRequest) (*TraceArtifac
 			}
 			art := &TraceArtifact{}
 			cfg.SkipBBV = true
+			cfg.Workers = p.Workers
+			obs.SpanFromContext(cctx).SetTag("workers", fmt.Sprint(p.Workers))
 			cfg.Sink = func(chunk []trace.Interval) error {
 				art.observe(chunk)
 				return nil
@@ -416,9 +427,11 @@ func (p *Pipeline) project(ctx context.Context, req ClusterRequest) (*ProjArtifa
 			}
 			art := &ProjArtifact{}
 			proj := simpoint.NewStreamProjector(numBlocks, req.Dims, req.Seed)
+			cfg.Workers = p.Workers
+			obs.SpanFromContext(cctx).SetTag("workers", fmt.Sprint(p.Workers))
 			cfg.Sink = func(chunk []trace.Interval) error {
 				art.observe(chunk)
-				proj.ObserveChunk(chunk)
+				proj.ObserveChunkPar(chunk, p.Workers)
 				return nil
 			}
 			res, err := trace.Run(cfg)

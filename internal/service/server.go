@@ -39,6 +39,11 @@ type Config struct {
 	// Queue bounds requests waiting for an execution slot (default
 	// 4×Workers). Work beyond Workers+Queue is rejected with 429.
 	Queue int
+	// TraceWorkers is the pipeline-parallel engine's worker count for
+	// trace-driven stages within a single request (Pipeline.Workers):
+	// 0 keeps the serial streaming path. Independent of Workers, which
+	// bounds cross-request concurrency.
+	TraceWorkers int
 	// AccessLog, when non-nil, receives one structured entry per request
 	// (request ID, trace ID, route, status, bytes, stage breakdown).
 	AccessLog *slog.Logger
@@ -89,7 +94,7 @@ func New(cfg Config) *Server {
 	}
 	s := &Server{
 		cfg:  cfg,
-		pl:   NewPipeline(),
+		pl:   &Pipeline{Workers: cfg.TraceWorkers},
 		gate: NewGate(cfg.workers(), cfg.queue()),
 		mux:  http.NewServeMux(),
 		slow: obs.NewRing[SlowRequest](cfg.slowWindow()),

@@ -1,0 +1,88 @@
+package simpoint
+
+import (
+	"phasemark/internal/par"
+	"phasemark/internal/trace"
+)
+
+// Parallel chunk consumers for the pipeline-parallel streaming engine
+// (trace.Config.Workers). Both fan only the embarrassingly parallel
+// part — per-interval BBV projection, whose rows are disjoint and whose
+// kernel is read-only over the shared projection matrix — and apply
+// every order-sensitive floating-point update sequentially in chunk
+// order on the calling goroutine. The results are therefore
+// bit-identical to the serial ObserveChunk at any worker count: the
+// same arithmetic happens on the same operands in the same order, only
+// the independent row kernels run concurrently.
+
+// ObserveChunkPar is ObserveChunk with the row projections fanned over
+// up to workers goroutines. Bit-identical to ObserveChunk at any
+// worker count; workers <= 1 runs the serial path unchanged.
+func (p *StreamProjector) ObserveChunkPar(chunk []trace.Interval, workers int) {
+	n := len(chunk)
+	if workers <= 1 || n < 2 {
+		p.ObserveChunk(chunk)
+		return
+	}
+	d := p.pts.D
+	base := len(p.pts.Data)
+	if need := base + n*d; need > cap(p.pts.Data) {
+		grown := make([]float64, base, max(2*cap(p.pts.Data), max(need, 64*d)))
+		copy(grown, p.pts.Data)
+		p.pts.Data = grown
+	}
+	p.pts.Data = p.pts.Data[: base+n*d : cap(p.pts.Data)]
+	data := p.pts.Data
+	par.ForEach(n, workers, nil, func(_, i int) {
+		chunk[i].BBV.ProjectInto(data[base+i*d:base+(i+1)*d], p.proj)
+	})
+	p.pts.N += n
+	for i := range chunk {
+		p.weights = append(p.weights, float64(chunk[i].Len()))
+	}
+}
+
+// ObserveChunkPar is ObserveChunk with the row projections fanned over
+// up to workers goroutines: rows destined for the seeding buffer are
+// projected in parallel straight into their (disjoint) buffer slots,
+// and steady-state rows into a per-chunk scratch matrix from which the
+// order-sensitive mini-batch absorptions then apply sequentially in
+// chunk order. Bit-identical to ObserveChunk at any worker count;
+// workers <= 1 runs the serial path unchanged.
+func (s *StreamKMeans) ObserveChunkPar(chunk []trace.Interval, workers int) {
+	if workers <= 1 || len(chunk) < 2 {
+		s.ObserveChunk(chunk)
+		return
+	}
+	for len(chunk) > 0 && s.centers.N == 0 {
+		n := min(s.seedTarget-s.bufN, len(chunk))
+		head, b0 := chunk[:n], s.bufN
+		par.ForEach(n, workers, nil, func(_, i int) {
+			head[i].BBV.ProjectInto(s.buf.Row(b0+i), s.proj)
+		})
+		for i := range head {
+			s.bufW = append(s.bufW, float64(head[i].Len()))
+		}
+		s.bufN += n
+		s.points += n
+		if s.bufN == s.seedTarget {
+			s.seed()
+		}
+		chunk = chunk[n:]
+	}
+	n := len(chunk)
+	if n == 0 {
+		return
+	}
+	if cap(s.parRows) < n*s.dims {
+		s.parRows = make([]float64, n*s.dims)
+	}
+	rows := s.parRows[:n*s.dims]
+	par.ForEach(n, workers, nil, func(_, i int) {
+		chunk[i].BBV.ProjectInto(rows[i*s.dims:(i+1)*s.dims], s.proj)
+	})
+	for i := range chunk {
+		s.points++
+		s.absorb(rows[i*s.dims:(i+1)*s.dims], float64(chunk[i].Len()))
+	}
+}

@@ -1,0 +1,87 @@
+package simpoint
+
+import (
+	"testing"
+)
+
+// ObserveChunkPar must be bit-identical to ObserveChunk at every worker
+// count and chunk size: same projected matrix and weights, same
+// centroids, mass, SSE. Chunk size 40 lands a seed boundary mid-chunk
+// (seedTarget 64 with ForceK 2), exercising the buffered-prefix split.
+func TestObserveChunkParBitIdentical(t *testing.T) {
+	const numBlocks, dims = 64, 8
+	opts := Options{ForceK: 2, Dims: dims, Seed: 3, Restarts: 2, MaxIters: 40, Workers: 1}
+	ivs := synthIntervals(500, numBlocks, 9)
+
+	refProj := NewStreamProjector(numBlocks, dims, 0xC1)
+	refKM := NewStreamKMeans(numBlocks, opts)
+	for _, c := range chunks(ivs, 64) {
+		refProj.ObserveChunk(c)
+		refKM.ObserveChunk(c)
+	}
+	wantPts, wantW := refProj.Matrix()
+	want := refKM.Finish()
+
+	for _, size := range []int{1, 7, 40, 256} {
+		for _, workers := range []int{1, 4, 16} {
+			p := NewStreamProjector(numBlocks, dims, 0xC1)
+			s := NewStreamKMeans(numBlocks, opts)
+			for _, c := range chunks(ivs, size) {
+				p.ObserveChunkPar(c, workers)
+				s.ObserveChunkPar(c, workers)
+			}
+			gotPts, gotW := p.Matrix()
+			if gotPts.N != wantPts.N || gotPts.D != wantPts.D {
+				t.Fatalf("size=%d workers=%d: shape %dx%d, want %dx%d",
+					size, workers, gotPts.N, gotPts.D, wantPts.N, wantPts.D)
+			}
+			for i := range wantPts.Data {
+				if gotPts.Data[i] != wantPts.Data[i] {
+					t.Fatalf("size=%d workers=%d: matrix differs at %d", size, workers, i)
+				}
+			}
+			for i := range wantW {
+				if gotW[i] != wantW[i] {
+					t.Fatalf("size=%d workers=%d: weight %d differs", size, workers, i)
+				}
+			}
+			got := s.Finish()
+			if got.K != want.K || got.Points != want.Points || got.SSE != want.SSE {
+				t.Fatalf("size=%d workers=%d: K/Points/SSE %d/%d/%v, want %d/%d/%v",
+					size, workers, got.K, got.Points, got.SSE, want.K, want.Points, want.SSE)
+			}
+			for i := range want.Centers.Data {
+				if got.Centers.Data[i] != want.Centers.Data[i] {
+					t.Fatalf("size=%d workers=%d: center data differs at %d", size, workers, i)
+				}
+			}
+			for i := range want.Mass {
+				if got.Mass[i] != want.Mass[i] {
+					t.Fatalf("size=%d workers=%d: mass %d differs", size, workers, i)
+				}
+			}
+		}
+	}
+}
+
+// The clusterer's steady state must stay allocation-free per chunk on
+// the inline path (workers <= 1), scratch warm: the streaming engine
+// calls this once per delivered chunk for the whole trace.
+func TestStreamKMeansChunkParSteadyStateAllocs(t *testing.T) {
+	const numBlocks, dims = 64, 8
+	opts := Options{ForceK: 2, Dims: dims, Seed: 3, Restarts: 2, MaxIters: 40, Workers: 1}
+	s := NewStreamKMeans(numBlocks, opts)
+	warm := chunks(synthIntervals(200, numBlocks, 13), 50)
+	for _, c := range warm {
+		s.ObserveChunkPar(c, 1) // past seeding; scratch warm
+	}
+	if s.centers.N == 0 {
+		t.Fatal("clusterer still unseeded after warmup")
+	}
+	chunk := warm[len(warm)-1]
+	if allocs := testing.AllocsPerRun(100, func() {
+		s.ObserveChunkPar(chunk, 1)
+	}); allocs != 0 {
+		t.Fatalf("steady-state ObserveChunkPar allocates %v per chunk, want 0", allocs)
+	}
+}

@@ -116,6 +116,9 @@ type StreamKMeans struct {
 	centers Matrix
 	mass    []float64
 	scratch []float64
+	// parRows is ObserveChunkPar's per-chunk projection scratch (one row
+	// per interval), reused across chunks.
+	parRows []float64
 	points  int
 	sse     float64
 }

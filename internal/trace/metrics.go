@@ -1,6 +1,11 @@
 package trace
 
-import "phasemark/internal/stats"
+import (
+	"sort"
+
+	"phasemark/internal/par"
+	"phasemark/internal/stats"
+)
 
 // Metric extracts a per-interval behavior metric (CPI, miss rate, ...).
 type Metric func(*Interval) float64
@@ -36,6 +41,9 @@ type CoVAccumulator struct {
 	groups   map[int]*stats.Weighted
 	totalLen float64
 	n        int
+	// parVals is ObserveChunkPar's per-chunk metric scratch, reused
+	// across chunks.
+	parVals []float64
 }
 
 // NewCoVAccumulator builds a single-pass accumulator. phaseOf maps an
@@ -49,6 +57,11 @@ func NewCoVAccumulator(phaseOf func(*Interval) int, metric Metric) *CoVAccumulat
 // Observe folds one interval into the per-phase statistics. Nothing in iv
 // is retained.
 func (a *CoVAccumulator) Observe(iv *Interval) {
+	a.observeVal(iv, a.metric(iv))
+}
+
+// observeVal folds one interval whose metric value is already computed.
+func (a *CoVAccumulator) observeVal(iv *Interval, v float64) {
 	id := a.phaseOf(iv)
 	g := a.groups[id]
 	if g == nil {
@@ -56,7 +69,7 @@ func (a *CoVAccumulator) Observe(iv *Interval) {
 		a.groups[id] = g
 	}
 	w := float64(iv.Len())
-	g.Add(a.metric(iv), w)
+	g.Add(v, w)
 	a.totalLen += w
 	a.n++
 }
@@ -65,6 +78,28 @@ func (a *CoVAccumulator) Observe(iv *Interval) {
 func (a *CoVAccumulator) ObserveChunk(chunk []Interval) {
 	for i := range chunk {
 		a.Observe(&chunk[i])
+	}
+}
+
+// ObserveChunkPar is ObserveChunk with the per-interval metric
+// extraction fanned over up to workers goroutines; the order-sensitive
+// running-statistics updates then apply sequentially in chunk order, so
+// the result is bit-identical to ObserveChunk at any worker count.
+// workers <= 1 runs the serial path unchanged.
+func (a *CoVAccumulator) ObserveChunkPar(chunk []Interval, workers int) {
+	if workers <= 1 || len(chunk) < 2 {
+		a.ObserveChunk(chunk)
+		return
+	}
+	if cap(a.parVals) < len(chunk) {
+		a.parVals = make([]float64, len(chunk))
+	}
+	vals := a.parVals[:len(chunk)]
+	par.ForEach(len(chunk), workers, nil, func(_, i int) {
+		vals[i] = a.metric(&chunk[i])
+	})
+	for i := range chunk {
+		a.observeVal(&chunk[i], vals[i])
 	}
 }
 
@@ -84,10 +119,19 @@ func (a *CoVAccumulator) Merge(o *CoVAccumulator) {
 	a.n += o.n
 }
 
-// Result summarizes the observations so far.
+// Result summarizes the observations so far. Phases fold in ascending
+// phase-ID order, so the floating-point summation order — and hence the
+// exact CoV — is a deterministic function of the observations, not of
+// map iteration order.
 func (a *CoVAccumulator) Result() PhaseCoVResult {
+	ids := make([]int, 0, len(a.groups))
+	for id := range a.groups {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
 	var covSum, wSum float64
-	for _, g := range a.groups {
+	for _, id := range ids {
+		g := a.groups[id]
 		covSum += g.CoV() * g.WeightSum()
 		wSum += g.WeightSum()
 	}

@@ -85,11 +85,28 @@ type Config struct {
 	// Ignored when Sink is nil.
 	ChunkSize int
 
-	// Scale amplifies the trace by executing the program Scale times
-	// (machine state reset between repetitions, observer state carried
-	// through), producing one Scale×-long segmented execution. 0 or 1
-	// means a single execution.
+	// Scale amplifies the trace by executing the program Scale times,
+	// producing one Scale×-long segmented execution. Each repetition is
+	// an independent cold run — machine state, timing model (caches,
+	// predictor, counters), cutter grid, and detector occurrence counts
+	// all reset at the boundary, and the repetition's final interval is
+	// closed there — tiled end to end on the instruction axis. Identical
+	// repetitions therefore produce identical interval sequences, which
+	// is what makes the amplified trace reproducible rep by rep (and lets
+	// Workers fan repetitions out without changing a single byte of
+	// output). 0 or 1 means a single execution.
 	Scale int
+
+	// Workers enables the pipeline-parallel streaming engine when
+	// positive and Sink is set: trace production is decoupled from
+	// analysis through a bounded ring of event buffers (single
+	// execution), and Scale repetitions are fanned over min(Workers,
+	// Scale) machine instances with chunks delivered to Sink in
+	// rep-major order (amplified execution). Output is bit-identical to
+	// the serial stream at any worker count; only wall-clock changes.
+	// 0 keeps the serial in-line path; negative is an error.
+	// Materializing runs (Sink == nil) ignore Workers.
+	Workers int
 }
 
 // collector owns the interval state and implements the cut logic.
@@ -215,6 +232,15 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.CPU.L1.Sets == 0 {
 		cfg.CPU = uarch.DefaultConfig()
 	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("trace: negative Workers (%d)", cfg.Workers)
+	}
+	if cfg.Sink != nil && cfg.Workers > 0 {
+		// Pipeline-parallel streaming engine (engine.go): overlap trace
+		// production with analysis, and fan Scale repetitions over
+		// workers. Bit-identical to the serial path below.
+		return runEngine(cfg)
+	}
 	cpu := uarch.NewCPU(cfg.CPU, cfg.Prog)
 	col := &collector{
 		cpu:      cpu,
@@ -235,10 +261,12 @@ func Run(cfg Config) (*Result, error) {
 	// bug; shadow_test.go keeps it from returning).
 	var observers minivm.MultiObserver
 	var det *core.Detector
+	var fixed *FixedCutter
 	if cfg.FixedLen > 0 {
-		observers = append(observers, NewFixedCutter(cfg.FixedLen, func(at uint64) {
+		fixed = NewFixedCutter(cfg.FixedLen, func(at uint64) {
 			col.cut(ProloguePhase, at)
-		}))
+		})
+		observers = append(observers, fixed)
 	} else {
 		det = core.NewDetector(cfg.Prog, nil, cfg.Markers, func(marker int, at uint64) {
 			col.cut(marker, at)
@@ -258,19 +286,27 @@ func Run(cfg Config) (*Result, error) {
 
 	m := minivm.NewMachine(cfg.Prog, observers)
 	// The Scale amplifier executes the program Scale times as one long
-	// trace: machine state (memory, output, instruction counter) resets
-	// between repetitions while every observer — cutter positions, the
-	// detector's walker, timing-model counters, the BBV accumulator —
-	// carries through cumulatively.
+	// trace of independent cold repetitions: at each boundary the
+	// repetition's final interval is closed, then the machine AND every
+	// observer reset — timing model cold, cutter grid rebased, detector
+	// occurrence counts cleared — so each repetition reproduces the same
+	// interval sequence, tiled end to end on the instruction axis.
 	runs := max(cfg.Scale, 1)
 	var total uint64
+	var done uarch.Counters // totals of completed (reset) repetitions
 	for rep := 0; rep < runs; rep++ {
 		if rep > 0 {
+			col.cut(ProloguePhase, total)
+			done = done.Add(cpu.Counters())
+			cpu.Reset()
+			col.lastPerf = uarch.Counters{}
 			m.Reset()
 			if det != nil {
 				if err := det.Restart(); err != nil {
 					return nil, fmt.Errorf("trace: scale restart: %w", err)
 				}
+			} else {
+				fixed.Rebase()
 			}
 		}
 		if _, err := m.Run(cfg.Args...); err != nil {
@@ -287,7 +323,7 @@ func Run(cfg Config) (*Result, error) {
 
 	res := &Result{
 		Intervals:    col.intervals,
-		Total:        cpu.Counters(),
+		Total:        done.Add(cpu.Counters()),
 		Instructions: total,
 		NumBlocks:    cfg.Prog.NumBlocks,
 	}

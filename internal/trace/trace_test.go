@@ -338,8 +338,9 @@ func TestStreamingSinkError(t *testing.T) {
 	}
 }
 
-// Scale=N must behave as one N×-long execution: N× the instructions,
-// contiguous tiling across repetition boundaries, cumulative counters.
+// Scale=N must amplify to N cold repetitions tiled as one long trace:
+// N× the instructions, contiguous tiling across repetition boundaries,
+// counters accumulated across repetitions.
 func TestScaleAmplifies(t *testing.T) {
 	cfg, _ := compileAndMark(t, 50_000)
 	single, err := Run(*cfg)

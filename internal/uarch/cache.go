@@ -216,6 +216,15 @@ func (c *Cache) Flush() {
 	c.lastOK = false
 }
 
+// Reset returns the cache to its freshly-constructed state: all lines
+// dropped and the access/miss counters zeroed. The geometry (including
+// any active-way restriction) is preserved.
+func (c *Cache) Reset() {
+	c.Flush()
+	c.accesses = 0
+	c.misses = 0
+}
+
 // Predictor is a table of two-bit saturating counters indexed by the
 // branch's static block ID.
 type Predictor struct {
@@ -250,6 +259,16 @@ func (p *Predictor) Predict(id int, taken bool) bool {
 		return false
 	}
 	return true
+}
+
+// Reset returns the predictor to its freshly-constructed state: every
+// counter back to weakly not-taken, query/mispredict totals zeroed.
+func (p *Predictor) Reset() {
+	for i := range p.table {
+		p.table[i] = 1
+	}
+	p.queries = 0
+	p.wrong = 0
 }
 
 // Queries reports the number of predicted branches.

@@ -39,6 +39,21 @@ type Counters struct {
 	Mispred  uint64
 }
 
+// Add returns the elementwise sum c + other (for accumulating totals
+// across independent executions, e.g. trace.Config.Scale repetitions).
+func (c Counters) Add(other Counters) Counters {
+	return Counters{
+		Instrs:   c.Instrs + other.Instrs,
+		Cycles:   c.Cycles + other.Cycles,
+		L1Acc:    c.L1Acc + other.L1Acc,
+		L1Miss:   c.L1Miss + other.L1Miss,
+		L2Acc:    c.L2Acc + other.L2Acc,
+		L2Miss:   c.L2Miss + other.L2Miss,
+		Branches: c.Branches + other.Branches,
+		Mispred:  c.Mispred + other.Mispred,
+	}
+}
+
 // Sub returns the delta c - prev.
 func (c Counters) Sub(prev Counters) Counters {
 	return Counters{
@@ -92,6 +107,18 @@ func NewCPU(cfg Config, prog *minivm.Program) *CPU {
 
 // Counters snapshots the current totals.
 func (c *CPU) Counters() Counters { return c.ctr }
+
+// Reset returns the model to its freshly-constructed state: counters
+// zeroed, caches emptied, predictor back to its initial bias. A Reset
+// CPU observes a subsequent execution exactly as a new CPU would —
+// trace.Run relies on that to make every Scale repetition an
+// independent cold run.
+func (c *CPU) Reset() {
+	c.ctr = Counters{}
+	c.L1.Reset()
+	c.L2.Reset()
+	c.BP.Reset()
+}
 
 // ObservedEvents implements minivm.EventMasker: the timing model consumes
 // blocks, branch outcomes, and memory references, but not call/return
